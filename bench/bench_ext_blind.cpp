@@ -1,0 +1,68 @@
+// Extension (paper §3.2.2 / §7): scheduling through an opaque batch
+// scheduler with a bounded number of trial-and-error reservation probes
+// per task, versus the full-knowledge BD_CPAR algorithm.
+//
+// Expected behaviour: quality improves monotonically with the probe budget
+// and approaches full knowledge within a handful of probes — supporting
+// the paper's claim that hiding the reservation schedule is a surmountable
+// obstacle.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "src/core/blind_ressched.hpp"
+#include "src/resv/batch_scheduler.hpp"
+
+int main() {
+  using namespace resched;
+  bench::print_header("Extension — trial-and-error (blind) scheduling");
+
+  auto grid = bench::strided(sim::synthetic_grid(), bench::scaled_stride(150));
+  auto config = bench::scaled_config(3, 3);
+
+  struct Row {
+    util::Accumulator tat_gap_pct;  // vs full knowledge
+    util::Accumulator cpu_gap_pct;
+    util::Accumulator probes;
+  };
+  const std::vector<int> budgets{1, 2, 4, 8, 16};
+  std::vector<Row> rows(budgets.size());
+  int instances = 0;
+
+  for (const auto& scenario : grid) {
+    for (int i = 0; i < config.dag_samples * config.resv_samples; ++i) {
+      auto inst = sim::make_instance(scenario, i / config.resv_samples,
+                                     i % config.resv_samples, config.seed);
+      core::ResschedParams full_params;  // BL_CPAR + BD_CPAR
+      auto full = core::schedule_ressched(inst.dag, inst.profile, inst.now,
+                                          inst.q_hist, full_params);
+      for (std::size_t b = 0; b < budgets.size(); ++b) {
+        resv::BatchScheduler batch(inst.profile);
+        core::BlindParams params;
+        params.probes_per_task = budgets[b];
+        auto blind = core::schedule_blind(inst.dag, batch, inst.now,
+                                          inst.q_hist, params);
+        rows[b].tat_gap_pct.add(
+            100.0 * (blind.turnaround - full.turnaround) / full.turnaround);
+        rows[b].cpu_gap_pct.add(
+            100.0 * (blind.cpu_hours - full.cpu_hours) / full.cpu_hours);
+        rows[b].probes.add(static_cast<double>(blind.probes_used));
+      }
+      ++instances;
+    }
+  }
+
+  std::cout << "Instances: " << instances
+            << " (gaps vs the full-knowledge BD_CPAR schedule)\n\n";
+  sim::TextTable table({"Probes/task", "TAT gap [%] (avg)",
+                        "CPU gap [%] (avg)", "total probes (avg)"});
+  for (std::size_t b = 0; b < budgets.size(); ++b) {
+    table.add_row({std::to_string(budgets[b]),
+                   sim::fmt(rows[b].tat_gap_pct.mean()),
+                   sim::fmt(rows[b].cpu_gap_pct.mean()),
+                   sim::fmt(rows[b].probes.mean(), 0)});
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: the turn-around gap shrinks toward ~0% as the "
+               "probe budget grows.\n";
+  return 0;
+}

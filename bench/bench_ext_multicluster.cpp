@@ -1,0 +1,127 @@
+// Extension (paper §7): RESSCHED on multi-cluster platforms.
+//
+// Two questions the single-cluster paper cannot answer:
+//   1. Fragmentation — the same processors as one big cluster vs split
+//      2- and 4-ways. Tasks cannot span clusters, so fragmentation caps
+//      data parallelism; turn-around should degrade monotonically with the
+//      split while CPU-hours shrink (smaller forced allocations).
+//   2. Heterogeneity — a small fast cluster next to a big slow one; the
+//      scheduler should route the critical path through the fast nodes.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "src/multi/deadline_multi.hpp"
+#include "src/multi/ressched_multi.hpp"
+
+namespace {
+
+using namespace resched;
+
+/// Competing reservations dropped on every cluster proportionally.
+multi::MultiPlatform make_platform(std::vector<multi::Cluster> clusters,
+                                   std::uint64_t seed) {
+  util::Rng rng(seed);
+  for (auto& cluster : clusters) {
+    int n_res = cluster.procs() / 8;
+    for (int i = 0; i < n_res; ++i) {
+      double start = rng.uniform(-12.0, 96.0) * 3600.0;
+      double dur = rng.uniform(1.0, 8.0) * 3600.0;
+      cluster.calendar.add(
+          {start, start + dur,
+           static_cast<int>(rng.uniform_int(1, cluster.procs() / 3))});
+    }
+  }
+  return multi::MultiPlatform(std::move(clusters));
+}
+
+}  // namespace
+
+int main() {
+  using namespace resched;
+  bench::print_header("Extension — multi-cluster RESSCHED");
+
+  const int samples = std::max(
+      4, static_cast<int>(std::lround(12 * util::bench_scale())));
+
+  struct Config {
+    const char* label;
+    std::vector<std::pair<int, double>> clusters;  // procs, speed
+  };
+  const std::vector<Config> configs{
+      {"1 x 256", {{256, 1.0}}},
+      {"2 x 128", {{128, 1.0}, {128, 1.0}}},
+      {"4 x 64", {{64, 1.0}, {64, 1.0}, {64, 1.0}, {64, 1.0}}},
+      {"64 fast(2x) + 192", {{64, 2.0}, {192, 1.0}}},
+  };
+
+  sim::TextTable table({"Platform", "turnaround [h] (avg)",
+                        "CPU-hours (avg)", "fast-cluster share [%]"});
+  for (const auto& config : configs) {
+    util::Accumulator tat, cpu, fast_share;
+    for (int s = 0; s < samples; ++s) {
+      util::Rng rng(500 + s);
+      dag::Dag app = dag::generate(dag::DagSpec{}, rng);
+
+      std::vector<multi::Cluster> clusters;
+      for (std::size_t c = 0; c < config.clusters.size(); ++c)
+        clusters.emplace_back("c" + std::to_string(c),
+                              config.clusters[c].first,
+                              config.clusters[c].second);
+      auto platform = make_platform(std::move(clusters), 900 + s);
+
+      auto result = multi::schedule_ressched_multi(app, platform, 0.0);
+      tat.add(result.turnaround / 3600.0);
+      cpu.add(result.cpu_hours);
+      if (config.clusters.size() > 1 && config.clusters[0].second > 1.0) {
+        int on_fast = 0;
+        for (int c : result.cluster_of) on_fast += (c == 0) ? 1 : 0;
+        fast_share.add(100.0 * on_fast / app.size());
+      }
+    }
+    table.add_row({config.label, sim::fmt(tat.mean()), sim::fmt(cpu.mean(), 1),
+                   fast_share.empty() ? "-" : sim::fmt(fast_share.mean(), 1)});
+  }
+  table.print(std::cout);
+
+  // Deadline arm: the single-cluster Table 6/7 story on 2 x 128, with the
+  // deadline 2x the forward turn-around.
+  sim::TextTable dl_table({"Deadline algorithm", "met [%]",
+                           "CPU-hours (avg)", "lambda (avg)"});
+  for (auto algo : {multi::MultiDlAlgo::kAggressive,
+                    multi::MultiDlAlgo::kConservativeLambda}) {
+    util::Accumulator cpu, lambda;
+    int met = 0, total = 0;
+    for (int s = 0; s < samples; ++s) {
+      util::Rng rng(500 + s);
+      dag::Dag app = dag::generate(dag::DagSpec{}, rng);
+      std::vector<multi::Cluster> clusters;
+      clusters.emplace_back("c0", 128);
+      clusters.emplace_back("c1", 128);
+      auto platform = make_platform(std::move(clusters), 900 + s);
+      double k =
+          2.0 * multi::schedule_ressched_multi(app, platform, 0.0).turnaround;
+      multi::MultiDeadlineParams params;
+      params.algo = algo;
+      auto result = multi::schedule_deadline_multi(app, platform, 0.0, k,
+                                                   params);
+      ++total;
+      if (result.feasible) {
+        ++met;
+        cpu.add(result.cpu_hours);
+        lambda.add(result.lambda_used);
+      }
+    }
+    dl_table.add_row({multi::to_string(algo),
+                      sim::fmt(100.0 * met / std::max(1, total), 1),
+                      sim::fmt(cpu.mean(), 1), sim::fmt(lambda.mean())});
+  }
+  std::cout << "\n";
+  dl_table.print(std::cout);
+
+  std::cout << "\nShape check: turn-around degrades as the platform "
+               "fragments (tasks cannot span clusters); the heterogeneous "
+               "platform routes a large share of tasks to the fast cluster; "
+               "the conservative deadline algorithm meets the same deadlines "
+               "with markedly fewer CPU-hours.\n";
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Microbenchmarks (google-benchmark) for the primitives behind Table 8's
+// complexity analysis: calendar fit queries, CPA allocation, and the two
+// scheduler families as V (task count) and R (reservation count) grow.
+//
+// The asymptotic claims to eyeball: earliest_fit linear in R; CPA
+// allocation ~ V (V + E) P'; BD_CPAR ~ V^2 P' + V E P' + V R P'; the
+// DL_RC family a large constant factor above DL_BD.
+#include <benchmark/benchmark.h>
+
+#include "src/core/resscheddl.hpp"
+#include "src/core/ressched.hpp"
+#include "src/cpa/cpa.hpp"
+#include "src/dag/daggen.hpp"
+#include "src/resv/profile.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace resched;
+
+resv::AvailabilityProfile make_profile(int p, int reservations,
+                                       std::uint64_t seed) {
+  util::Rng rng(seed);
+  resv::ReservationList list;
+  for (int i = 0; i < reservations; ++i) {
+    double start = rng.uniform(0.0, 7 * 86400.0);
+    double dur = rng.uniform(0.5, 12.0) * 3600.0;
+    int procs = static_cast<int>(rng.uniform_int(1, p / 2));
+    list.push_back({start, start + dur, procs});
+  }
+  return resv::AvailabilityProfile(p, list);
+}
+
+dag::Dag make_dag(int n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  dag::DagSpec spec;
+  spec.num_tasks = n;
+  return dag::generate(spec, rng);
+}
+
+void BM_EarliestFit(benchmark::State& state) {
+  auto profile = make_profile(128, static_cast<int>(state.range(0)), 1);
+  util::Rng rng(2);
+  for (auto _ : state) {
+    auto fit = profile.earliest_fit(32, 3600.0, rng.uniform(0.0, 5 * 86400.0));
+    benchmark::DoNotOptimize(fit);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EarliestFit)->RangeMultiplier(4)->Range(16, 1024)->Complexity();
+
+void BM_LatestFit(benchmark::State& state) {
+  auto profile = make_profile(128, static_cast<int>(state.range(0)), 1);
+  util::Rng rng(2);
+  for (auto _ : state) {
+    auto fit = profile.latest_fit(32, 3600.0, 7 * 86400.0,
+                                  rng.uniform(0.0, 86400.0));
+    benchmark::DoNotOptimize(fit);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LatestFit)->RangeMultiplier(4)->Range(16, 1024)->Complexity();
+
+void BM_CpaAllocations(benchmark::State& state) {
+  auto app = make_dag(static_cast<int>(state.range(0)), 3);
+  for (auto _ : state) {
+    auto alloc = cpa::allocations(app, 128);
+    benchmark::DoNotOptimize(alloc);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CpaAllocations)->Arg(10)->Arg(25)->Arg(50)->Arg(100)->Complexity();
+
+void BM_ResschedBdCpar(benchmark::State& state) {
+  auto app = make_dag(static_cast<int>(state.range(0)), 4);
+  auto profile = make_profile(128, 200, 5);
+  core::ResschedParams params;  // BL_CPAR + BD_CPAR
+  for (auto _ : state) {
+    auto res = core::schedule_ressched(app, profile, 0.0, 96, params);
+    benchmark::DoNotOptimize(res);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ResschedBdCpar)->Arg(10)->Arg(25)->Arg(50)->Arg(100)
+    ->Complexity();
+
+void BM_DeadlineAggressive(benchmark::State& state) {
+  auto app = make_dag(50, 6);
+  auto profile = make_profile(128, 200, 7);
+  core::DeadlineParams params;
+  params.algo = core::DlAlgo::kBdCpa;
+  for (auto _ : state) {
+    auto res = core::schedule_deadline(app, profile, 0.0, 96, 14 * 86400.0,
+                                       params);
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_DeadlineAggressive);
+
+void BM_DeadlineConservative(benchmark::State& state) {
+  auto app = make_dag(50, 6);
+  auto profile = make_profile(128, 200, 7);
+  core::DeadlineParams params;
+  params.algo = core::DlAlgo::kRcCpar;
+  for (auto _ : state) {
+    auto res = core::schedule_deadline(app, profile, 0.0, 96, 14 * 86400.0,
+                                       params);
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_DeadlineConservative);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// Image-processing workflow example (the paper's §1 motivation: a workflow
+// of image filters, several of which are data-parallel).
+//
+// Builds an explicit mixed-parallel DAG by hand — ingest, per-band filter
+// stages, a mosaic join, and a publish step — then compares all four
+// Table 4 allocation-bounding strategies on a reserved cluster and prints
+// the resulting schedule as a Gantt-style listing plus a DOT file.
+//
+// Build & run:  ./build/examples/image_pipeline [out.dot]
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/core/algorithms.hpp"
+#include "src/core/ressched.hpp"
+#include "src/dag/dot.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace resched;
+
+/// A 4-band imaging pipeline:
+///   ingest -> {debayer_i -> denoise_i -> register_i} x4 -> mosaic -> publish
+dag::Dag build_pipeline() {
+  std::vector<dag::TaskCost> costs;
+  std::vector<std::pair<int, int>> edges;
+  auto add_task = [&](double hours, double alpha) {
+    costs.push_back({hours * 3600.0, alpha});
+    return static_cast<int>(costs.size()) - 1;
+  };
+
+  int ingest = add_task(0.5, 0.40);  // I/O bound: barely parallel
+  std::vector<int> registered;
+  for (int band = 0; band < 4; ++band) {
+    int debayer = add_task(2.0, 0.05);   // embarrassingly parallel
+    int denoise = add_task(4.0, 0.10);   // iterative, mostly parallel
+    int reg = add_task(1.5, 0.15);
+    edges.emplace_back(ingest, debayer);
+    edges.emplace_back(debayer, denoise);
+    edges.emplace_back(denoise, reg);
+    registered.push_back(reg);
+  }
+  int mosaic = add_task(3.0, 0.20);  // stitching has a serial seam pass
+  for (int reg : registered) edges.emplace_back(reg, mosaic);
+  int publish = add_task(0.25, 0.60);  // metadata + upload
+  edges.emplace_back(mosaic, publish);
+  return dag::Dag(std::move(costs), edges);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace resched;
+
+  dag::Dag pipeline = build_pipeline();
+  std::printf("Pipeline: %d tasks, %d edges, %d levels (max width %d)\n",
+              pipeline.size(), pipeline.num_edges(), pipeline.num_levels(),
+              pipeline.max_width());
+
+  // A 64-processor cluster with a nightly maintenance reservation and a
+  // competing user's block booking.
+  const int p = 64;
+  resv::ReservationList competing{
+      {8 * 3600.0, 10 * 3600.0, 64},    // nightly maintenance: full machine
+      {2 * 3600.0, 6 * 3600.0, 24},     // batch user A
+      {12 * 3600.0, 20 * 3600.0, 16},   // batch user B
+      {-4 * 3600.0, 1 * 3600.0, 32},    // running now, ends in an hour
+  };
+  resv::AvailabilityProfile profile(p, competing);
+  int q = resv::historical_average_available(profile, 0.0, 86400.0);
+  std::printf("Cluster: %d processors, historical average availability %d\n\n",
+              p, q);
+
+  std::printf("%-8s  %14s  %10s\n", "bound", "turnaround [h]", "CPU-hours");
+  core::ResschedResult best;
+  std::string best_name;
+  for (const auto& algo : core::table4_algorithms()) {
+    auto result = core::schedule_ressched(pipeline, profile, 0.0, q,
+                                          algo.params);
+    std::printf("%-8s  %14.2f  %10.1f\n", algo.name.c_str(),
+                result.turnaround / 3600.0, result.cpu_hours);
+    if (best_name.empty() || result.turnaround < best.turnaround) {
+      best = result;
+      best_name = algo.name;
+    }
+  }
+
+  std::printf("\nSchedule from %s:\n", best_name.c_str());
+  std::printf("%4s  %5s  %9s  %9s\n", "task", "procs", "start [h]", "end [h]");
+  for (int v = 0; v < pipeline.size(); ++v) {
+    const auto& t = best.schedule.tasks[static_cast<std::size_t>(v)];
+    std::printf("%4d  %5d  %9.2f  %9.2f\n", v, t.procs, t.start / 3600.0,
+                t.finish / 3600.0);
+  }
+
+  const char* dot_path = argc > 1 ? argv[1] : "image_pipeline.dot";
+  std::vector<int> procs;
+  for (const auto& t : best.schedule.tasks) procs.push_back(t.procs);
+  std::ofstream dot(dot_path);
+  dag::write_dot(dot, pipeline, "image_pipeline", procs);
+  std::printf("\nDOT graph with allocations written to %s\n", dot_path);
+  return 0;
+}

@@ -1,0 +1,199 @@
+// Command-line scheduler: the library end-to-end on user-supplied inputs.
+//
+// Usage:
+//   scheduler_cli minimize <dag-file> <procs> [options]
+//   scheduler_cli deadline <dag-file> <procs> <deadline-hours> [options]
+//
+// Options:
+//   --swf <file> <phi>    competing reservations tagged from an SWF log
+//   --calendar <file>     competing reservations from a calendar file
+//                         (default: an empty calendar)
+//   --algo <name>         RESSCHED: BD_ALL|BD_HALF|BD_CPA|BD_CPAR (default)
+//                         deadline: DL_BD_ALL|DL_BD_CPA|DL_BD_CPAR|
+//                         DL_RC_CPA|DL_RC_CPAR|DL_RC_CPAR-lambda|
+//                         DL_RCBD_CPAR-lambda (default)
+//   --csv <file>          write the schedule as CSV
+//   --gantt               render an ASCII Gantt chart
+//
+// Example:
+//   scheduler_cli minimize workflow.dag 128 --gantt --csv plan.csv
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "src/core/algorithms.hpp"
+#include "src/core/tightest_deadline.hpp"
+#include "src/io/calendar_format.hpp"
+#include "src/io/dag_format.hpp"
+#include "src/sim/gantt.hpp"
+#include "src/util/rng.hpp"
+#include "src/workload/swf.hpp"
+#include "src/workload/tagging.hpp"
+
+namespace {
+
+using namespace resched;
+
+struct Args {
+  std::string mode;
+  std::string dag_path;
+  int procs = 0;
+  double deadline_hours = 0.0;
+  std::string swf_path;
+  std::string calendar_path;
+  double phi = 0.1;
+  std::string algo;
+  std::string csv_path;
+  bool gantt = false;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  RESCHED_CHECK(argc >= 4, "usage: scheduler_cli <minimize|deadline> "
+                           "<dag-file> <procs> [deadline-hours] [options]");
+  args.mode = argv[1];
+  args.dag_path = argv[2];
+  args.procs = std::atoi(argv[3]);
+  RESCHED_CHECK(args.procs >= 1, "procs must be a positive integer");
+  int i = 4;
+  if (args.mode == "deadline") {
+    RESCHED_CHECK(argc >= 5, "deadline mode needs <deadline-hours>");
+    args.deadline_hours = std::atof(argv[4]);
+    i = 5;
+  } else {
+    RESCHED_CHECK(args.mode == "minimize",
+                  "mode must be 'minimize' or 'deadline'");
+  }
+  for (; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag == "--swf" && i + 2 < argc) {
+      args.swf_path = argv[++i];
+      args.phi = std::atof(argv[++i]);
+    } else if (flag == "--calendar" && i + 1 < argc) {
+      args.calendar_path = argv[++i];
+    } else if (flag == "--algo" && i + 1 < argc) {
+      args.algo = argv[++i];
+    } else if (flag == "--csv" && i + 1 < argc) {
+      args.csv_path = argv[++i];
+    } else if (flag == "--gantt") {
+      args.gantt = true;
+    } else {
+      throw Error("unknown or incomplete option: " + flag);
+    }
+  }
+  return args;
+}
+
+resv::AvailabilityProfile build_calendar(const Args& args) {
+  if (!args.calendar_path.empty()) {
+    auto profile = io::read_calendar_file(args.calendar_path);
+    RESCHED_CHECK(profile.capacity() == args.procs,
+                  "calendar capacity does not match <procs>");
+    return profile;
+  }
+  resv::AvailabilityProfile profile(args.procs);
+  if (args.swf_path.empty()) return profile;
+  workload::Log log = workload::read_swf_file(args.swf_path);
+  util::Rng rng(1);
+  workload::TaggingSpec spec;
+  spec.phi = args.phi;
+  spec.method = workload::DecayMethod::kReal;
+  double now = log.duration / 2.0;
+  // Shift reservations so "now" is 0 in the CLI's time frame.
+  for (auto r : workload::make_reservation_schedule(log, now, spec, rng)) {
+    r.start -= now;
+    r.end -= now;
+    profile.add(r);
+  }
+  return profile;
+}
+
+void emit(const Args& args, const io::NamedDag& app,
+          const core::AppSchedule& schedule,
+          const resv::AvailabilityProfile& calendar) {
+  std::printf("%-16s %6s %12s %12s\n", "task", "procs", "start [h]",
+              "finish [h]");
+  for (std::size_t v = 0; v < schedule.tasks.size(); ++v) {
+    const auto& t = schedule.tasks[v];
+    std::printf("%-16s %6d %12.3f %12.3f\n", app.names[v].c_str(), t.procs,
+                t.start / 3600.0, t.finish / 3600.0);
+  }
+  std::printf("\nturn-around %.3f h, CPU-hours %.1f\n",
+              schedule.turnaround(0.0) / 3600.0, schedule.cpu_hours());
+  if (args.gantt) {
+    double horizon = schedule.finish_time() * 1.05;
+    std::printf("\n%s", sim::render_gantt(schedule, calendar, 0.0, horizon)
+                            .c_str());
+  }
+  if (!args.csv_path.empty()) {
+    std::ofstream csv(args.csv_path);
+    io::write_schedule_csv(csv, schedule, app.names);
+    std::printf("schedule written to %s\n", args.csv_path.c_str());
+  }
+}
+
+int run(const Args& args) {
+  io::NamedDag app = io::read_dag_file(args.dag_path);
+  resv::AvailabilityProfile calendar = build_calendar(args);
+  int q = resv::historical_average_available(calendar, 0.0, 7 * 86400.0);
+  std::printf("application: %d tasks, %d edges; platform: %d procs "
+              "(historical availability %d)\n\n",
+              app.dag.size(), app.dag.num_edges(), args.procs, q);
+
+  if (args.mode == "minimize") {
+    core::ResschedParams params;  // BD_CPAR default
+    if (!args.algo.empty()) {
+      bool found = false;
+      for (const auto& named : core::table4_algorithms())
+        if (named.name == args.algo) {
+          params = named.params;
+          found = true;
+        }
+      RESCHED_CHECK(found, "unknown RESSCHED algorithm: " + args.algo);
+    }
+    auto result = core::schedule_ressched(app.dag, calendar, 0.0, q, params);
+    emit(args, app, result.schedule, calendar);
+    return 0;
+  }
+
+  core::DeadlineParams params;  // DL_RCBD_CPAR-lambda default
+  if (!args.algo.empty()) {
+    bool found = false;
+    for (const auto& named : core::table6_algorithms())
+      if (named.name == args.algo) {
+        params = named.params;
+        found = true;
+      }
+    for (const auto& named : core::table7_algorithms())
+      if (named.name == args.algo) {
+        params = named.params;
+        found = true;
+      }
+    RESCHED_CHECK(found, "unknown deadline algorithm: " + args.algo);
+  }
+  double deadline = args.deadline_hours * 3600.0;
+  auto result =
+      core::schedule_deadline(app.dag, calendar, 0.0, q, deadline, params);
+  if (!result.feasible) {
+    auto tight = core::tightest_deadline(app.dag, calendar, 0.0, q, params);
+    std::printf("deadline of %.2f h NOT met; tightest achievable is %.2f h\n",
+                args.deadline_hours, tight.deadline / 3600.0);
+    return 3;
+  }
+  std::printf("deadline met (lambda = %.2f)\n\n", result.lambda_used);
+  emit(args, app, result.schedule, calendar);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(parse_args(argc, argv));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

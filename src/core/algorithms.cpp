@@ -1,0 +1,57 @@
+#include "src/core/algorithms.hpp"
+
+namespace resched::core {
+
+std::vector<NamedRessched> all_ressched_algorithms() {
+  std::vector<NamedRessched> out;
+  for (BlMethod bl : {BlMethod::kOne, BlMethod::kAll, BlMethod::kCpa,
+                      BlMethod::kCpar}) {
+    for (BdMethod bd : {BdMethod::kAll, BdMethod::kCpa, BdMethod::kCpar}) {
+      NamedRessched named;
+      named.name = std::string(to_string(bl)) + "_" + to_string(bd);
+      named.params.bl = bl;
+      named.params.bd = bd;
+      out.push_back(std::move(named));
+    }
+  }
+  return out;
+}
+
+std::vector<NamedRessched> table4_algorithms() {
+  std::vector<NamedRessched> out;
+  for (BdMethod bd : {BdMethod::kAll, BdMethod::kHalf, BdMethod::kCpa,
+                      BdMethod::kCpar}) {
+    NamedRessched named;
+    named.name = to_string(bd);
+    named.params.bl = BlMethod::kCpar;
+    named.params.bd = bd;
+    out.push_back(std::move(named));
+  }
+  return out;
+}
+
+std::vector<NamedDeadline> table6_algorithms() {
+  std::vector<NamedDeadline> out;
+  for (DlAlgo algo : {DlAlgo::kBdAll, DlAlgo::kBdCpa, DlAlgo::kBdCpar,
+                      DlAlgo::kRcCpa, DlAlgo::kRcCpar}) {
+    NamedDeadline named;
+    named.name = to_string(algo);
+    named.params.algo = algo;
+    out.push_back(std::move(named));
+  }
+  return out;
+}
+
+std::vector<NamedDeadline> table7_algorithms() {
+  std::vector<NamedDeadline> out;
+  for (DlAlgo algo : {DlAlgo::kBdCpa, DlAlgo::kRcCpar, DlAlgo::kRcCparLambda,
+                      DlAlgo::kRcbdCparLambda}) {
+    NamedDeadline named;
+    named.name = to_string(algo);
+    named.params.algo = algo;
+    out.push_back(std::move(named));
+  }
+  return out;
+}
+
+}  // namespace resched::core

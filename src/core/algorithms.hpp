@@ -1,0 +1,35 @@
+// Named algorithm registries used by benches, examples, and tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/resscheddl.hpp"
+#include "src/core/ressched.hpp"
+
+namespace resched::core {
+
+struct NamedRessched {
+  std::string name;
+  ResschedParams params;
+};
+
+struct NamedDeadline {
+  std::string name;
+  DeadlineParams params;
+};
+
+/// All 12 BL_x_BD_y combinations of §4.2, named "BL_x_BD_y".
+std::vector<NamedRessched> all_ressched_algorithms();
+
+/// The §4.3.2 / Table 4 comparison: BL_CPAR with the four bounding methods
+/// BD_ALL, BD_HALF, BD_CPA, BD_CPAR.
+std::vector<NamedRessched> table4_algorithms();
+
+/// The five §5.3 / Table 6 deadline algorithms.
+std::vector<NamedDeadline> table6_algorithms();
+
+/// The four §5.4 / Table 7 algorithms (aggressive, RC, and the two hybrids).
+std::vector<NamedDeadline> table7_algorithms();
+
+}  // namespace resched::core

@@ -1,0 +1,82 @@
+#include "src/core/blind_ressched.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/util/error.hpp"
+
+namespace resched::core {
+
+namespace {
+
+/// Geometric ladder of `count` processor counts covering [1, bound].
+std::vector<int> probe_ladder(int bound, int count) {
+  std::vector<int> ladder;
+  if (count <= 1 || bound <= 1) {
+    ladder.push_back(bound);
+    return ladder;
+  }
+  double ratio = std::pow(static_cast<double>(bound),
+                          1.0 / static_cast<double>(count - 1));
+  double level = 1.0;
+  for (int i = 0; i < count; ++i) {
+    int np = std::clamp(static_cast<int>(std::lround(level)), 1, bound);
+    if (ladder.empty() || np != ladder.back()) ladder.push_back(np);
+    level *= ratio;
+  }
+  if (ladder.back() != bound) ladder.push_back(bound);
+  return ladder;
+}
+
+}  // namespace
+
+BlindResult schedule_blind(const dag::Dag& dag, resv::BatchScheduler& batch,
+                           double now, int q_hist, const BlindParams& params) {
+  RESCHED_CHECK(params.probes_per_task >= 1,
+                "need at least one probe per task");
+  const int p = batch.capacity();
+  RESCHED_CHECK(q_hist >= 1 && q_hist <= p, "q_hist must be in [1, p]");
+
+  // Same phase 1 as the full-knowledge algorithm: BL_CPAR bottom levels.
+  auto bl_alloc = cpa::allocations(dag, q_hist, params.cpa);
+  auto bl = dag::bottom_levels(dag, bl_alloc);
+  auto order = dag::order_by_decreasing(dag, bl);
+  auto bound = bd_bounds(dag, p, q_hist, params.bd, params.cpa);
+
+  long probes_before = batch.probes_used();
+  BlindResult result;
+  result.schedule.tasks.resize(static_cast<std::size_t>(dag.size()));
+
+  for (int task : order) {
+    auto ti = static_cast<std::size_t>(task);
+    double ready = now;
+    for (int pred : dag.predecessors(task))
+      ready = std::max(
+          ready, result.schedule.tasks[static_cast<std::size_t>(pred)].finish);
+
+    int best_np = -1;
+    double best_start = 0.0, best_completion = 0.0;
+    for (int np : probe_ladder(bound[ti], params.probes_per_task)) {
+      double exec = dag::exec_time(dag.cost(task), np);
+      double start = batch.probe(np, exec, ready);
+      double completion = start + exec;
+      if (best_np < 0 || completion < best_completion ||
+          (completion == best_completion && np < best_np)) {
+        best_np = np;
+        best_start = start;
+        best_completion = completion;
+      }
+    }
+    TaskReservation r{best_np, best_start, best_completion};
+    result.schedule.tasks[ti] = r;
+    batch.reserve(r.as_reservation());
+  }
+
+  result.turnaround = result.schedule.turnaround(now);
+  result.cpu_hours = result.schedule.cpu_hours();
+  result.probes_used = batch.probes_used() - probes_before;
+  return result;
+}
+
+}  // namespace resched::core

@@ -1,0 +1,42 @@
+// Blind RESSCHED: turn-around-time minimization through a bounded number of
+// trial-and-error reservation requests (paper §3.2.2 / §7).
+//
+// When the batch scheduler does not expose its reservation schedule, the
+// full earliest-completion scan of schedule_ressched (one calendar query
+// per processor count) is unavailable; the scheduler must spend *probes*.
+// This variant keeps the BL_CPAR order and BD_CPAR bounds of the paper's
+// best algorithm but, for each task, probes only `probes_per_task` counts
+// on a geometric ladder between 1 and the task's bound (the ladder always
+// includes both endpoints). With a handful of probes per task the schedule
+// quality approaches the full-knowledge algorithm — quantified in
+// bench_ext_blind.
+#pragma once
+
+#include "src/core/ressched.hpp"
+#include "src/resv/batch_scheduler.hpp"
+
+namespace resched::core {
+
+struct BlindParams {
+  /// Trial reservations allowed per task (>= 1).
+  int probes_per_task = 4;
+  /// Allocation bound per task, as in the full-knowledge algorithm.
+  BdMethod bd = BdMethod::kCpar;
+  cpa::Options cpa;
+};
+
+struct BlindResult {
+  AppSchedule schedule;
+  double turnaround = 0.0;
+  double cpu_hours = 0.0;
+  long probes_used = 0;
+};
+
+/// Schedules the application through `batch`, committing one reservation
+/// per task. `q_hist` feeds the BL_CPAR bottom levels and the *_CPAR bound
+/// (the paper assumes this aggregate is public even when the schedule
+/// itself is not).
+BlindResult schedule_blind(const dag::Dag& dag, resv::BatchScheduler& batch,
+                           double now, int q_hist, const BlindParams& params);
+
+}  // namespace resched::core

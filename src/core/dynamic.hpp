@@ -1,0 +1,49 @@
+// Scheduling while the reservation schedule changes (paper §3.2.2
+// assumption 1 / §7 future work).
+//
+// The paper assumes application scheduling is instantaneous, so the
+// calendar cannot change mid-flight. This module removes the assumption:
+// task placements take wall-clock time (`placement_delay` each — think of
+// a user's trial-and-error session or a slow scheduler front-end), and
+// competing users book reservations concurrently as a Poisson process.
+// Each of our placements sees every arrival committed so far; once one of
+// our reservations is granted it is safe (later arrivals must fit around
+// it, exactly as we fit around theirs).
+//
+// With placement_delay = 0 this is exactly the paper's model; the
+// bench (bench_ext_dynamic) sweeps the delay to quantify how fast the
+// instantaneity assumption decays.
+#pragma once
+
+#include "src/core/ressched.hpp"
+#include "src/util/rng.hpp"
+
+namespace resched::core {
+
+/// Statistics of competing reservations booked during our scheduling run.
+struct ArrivalModel {
+  double rate_per_hour = 2.0;        ///< Poisson arrival rate
+  double mean_procs_fraction = 0.2;  ///< mean size vs platform
+  double mean_duration_hours = 3.0;  ///< exponential duration
+  double max_lead_hours = 24.0;      ///< arrivals book within this look-ahead
+};
+
+struct DynamicResult {
+  AppSchedule schedule;
+  double turnaround = 0.0;
+  double cpu_hours = 0.0;
+  int arrivals_seen = 0;  ///< competing reservations booked mid-scheduling
+};
+
+/// Runs the BL_CPAR/BD_CPAR placement loop while competing reservations
+/// arrive; placement k is made at wall-clock time now + k * placement_delay
+/// against a calendar containing every arrival up to that instant. All of
+/// our tasks are still constrained to start after `now` + total scheduling
+/// time is NOT modelled (reservations may start while later tasks are still
+/// being placed, as in a real system).
+DynamicResult schedule_ressched_dynamic(
+    const dag::Dag& dag, const resv::AvailabilityProfile& competing,
+    double now, int q_hist, const ResschedParams& params,
+    double placement_delay, const ArrivalModel& arrivals, util::Rng& rng);
+
+}  // namespace resched::core

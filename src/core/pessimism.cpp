@@ -1,0 +1,35 @@
+#include "src/core/pessimism.hpp"
+
+#include <algorithm>
+
+#include "src/util/error.hpp"
+
+namespace resched::core {
+
+PessimisticResult schedule_ressched_pessimistic(
+    const dag::Dag& dag, const resv::AvailabilityProfile& competing,
+    double now, int q_hist, const ResschedParams& params, double factor) {
+  RESCHED_CHECK(factor >= 1.0, "pessimism factor must be >= 1");
+
+  // The scheduler plans against the inflated application...
+  dag::Dag believed = dag::scale_costs(dag, factor);
+  ResschedResult planned =
+      schedule_ressched(believed, competing, now, q_hist, params);
+
+  // ...then tasks run at true speed inside their (oversized) reservations.
+  PessimisticResult out;
+  out.reserved = planned.schedule;
+  out.reserved_turnaround = planned.turnaround;
+  out.cpu_hours = planned.cpu_hours;
+  double actual_finish = now;
+  for (int v = 0; v < dag.size(); ++v) {
+    const TaskReservation& r =
+        planned.schedule.tasks[static_cast<std::size_t>(v)];
+    actual_finish = std::max(
+        actual_finish, r.start + dag::exec_time(dag.cost(v), r.procs));
+  }
+  out.actual_turnaround = actual_finish - now;
+  return out;
+}
+
+}  // namespace resched::core

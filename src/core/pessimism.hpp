@@ -1,0 +1,39 @@
+// Pessimistic runtime estimates (paper §3.1).
+//
+// The paper assumes perfect knowledge of task execution times but notes
+// that real users submit overestimates, which "lead to task reservations
+// later in the future ... and thus to longer application execution time",
+// and conjectures all algorithms are impacted similarly. This module makes
+// that study runnable: the scheduler sees execution times inflated by a
+// pessimism factor f >= 1 and books reservations sized accordingly; tasks
+// then actually run at their true speed inside those reservations.
+//
+//  * reserved turn-around — what the user is promised (reservation end);
+//  * actual turn-around   — when the exit task really finishes (its
+//    reserved start plus its true execution time; successors still honour
+//    the reserved start times, as the paper's file-based communication
+//    model implies);
+//  * CPU-hours — the reserved (billed) processor time.
+//
+// bench_ext_pessimism sweeps f per algorithm to test the paper's
+// "impacted similarly" conjecture.
+#pragma once
+
+#include "src/core/ressched.hpp"
+
+namespace resched::core {
+
+struct PessimisticResult {
+  AppSchedule reserved;            ///< the booked (inflated) reservations
+  double reserved_turnaround = 0;  ///< completion promised by the calendar
+  double actual_turnaround = 0;    ///< true completion of the exit tasks
+  double cpu_hours = 0;            ///< billed (reserved) CPU-hours
+};
+
+/// Runs a RESSCHED algorithm with execution times overestimated by
+/// `factor` (>= 1) and reports both the reserved and the actual outcome.
+PessimisticResult schedule_ressched_pessimistic(
+    const dag::Dag& dag, const resv::AvailabilityProfile& competing,
+    double now, int q_hist, const ResschedParams& params, double factor);
+
+}  // namespace resched::core

@@ -1,0 +1,121 @@
+#include "src/core/ressched.hpp"
+
+#include <algorithm>
+
+#include "src/util/error.hpp"
+
+namespace resched::core {
+
+const char* to_string(BlMethod m) {
+  switch (m) {
+    case BlMethod::kOne: return "BL_1";
+    case BlMethod::kAll: return "BL_ALL";
+    case BlMethod::kCpa: return "BL_CPA";
+    case BlMethod::kCpar: return "BL_CPAR";
+  }
+  return "?";
+}
+
+const char* to_string(BdMethod m) {
+  switch (m) {
+    case BdMethod::kAll: return "BD_ALL";
+    case BdMethod::kHalf: return "BD_HALF";
+    case BdMethod::kCpa: return "BD_CPA";
+    case BdMethod::kCpar: return "BD_CPAR";
+  }
+  return "?";
+}
+
+std::vector<int> bl_allocations(const dag::Dag& dag, int p, int q_hist,
+                                BlMethod method, const cpa::Options& cpa) {
+  auto n = static_cast<std::size_t>(dag.size());
+  switch (method) {
+    case BlMethod::kOne:
+      return std::vector<int>(n, 1);
+    case BlMethod::kAll:
+      return std::vector<int>(n, p);
+    case BlMethod::kCpa:
+      return cpa::allocations(dag, p, cpa);
+    case BlMethod::kCpar:
+      return cpa::allocations(dag, q_hist, cpa);
+  }
+  RESCHED_ASSERT(false, "unreachable BlMethod");
+}
+
+std::vector<int> bd_bounds(const dag::Dag& dag, int p, int q_hist,
+                           BdMethod method, const cpa::Options& cpa) {
+  auto n = static_cast<std::size_t>(dag.size());
+  switch (method) {
+    case BdMethod::kAll:
+      return std::vector<int>(n, p);
+    case BdMethod::kHalf:
+      return std::vector<int>(n, std::max(1, p / 2));
+    case BdMethod::kCpa:
+      return cpa::allocations(dag, p, cpa);
+    case BdMethod::kCpar:
+      return cpa::allocations(dag, q_hist, cpa);
+  }
+  RESCHED_ASSERT(false, "unreachable BdMethod");
+}
+
+ResschedResult schedule_ressched(const dag::Dag& dag,
+                                 const resv::AvailabilityProfile& competing,
+                                 double now, int q_hist,
+                                 const ResschedParams& params) {
+  const int p = competing.capacity();
+  RESCHED_CHECK(q_hist >= 1 && q_hist <= p, "q_hist must be in [1, p]");
+
+  // Phase 1: bottom levels under the BL_* allocation assumption.
+  auto bl_alloc = bl_allocations(dag, p, q_hist, params.bl, params.cpa);
+  auto bl = dag::bottom_levels(dag, bl_alloc);
+  auto order = dag::order_by_decreasing(dag, bl);
+
+  // Phase 2: earliest-completion fits under the BD_* bounds.
+  auto bound = bd_bounds(dag, p, q_hist, params.bd, params.cpa);
+
+  resv::AvailabilityProfile profile = competing;  // tasks commit as we go
+  ResschedResult result;
+  result.schedule.tasks.resize(static_cast<std::size_t>(dag.size()));
+
+  for (int task : order) {
+    auto ti = static_cast<std::size_t>(task);
+    double ready = now;
+    for (int pred : dag.predecessors(task))
+      ready = std::max(
+          ready, result.schedule.tasks[static_cast<std::size_t>(pred)].finish);
+
+    // Scan processor counts downward; ready + exec(np) lower-bounds any
+    // completion at np or below (exec grows as np shrinks), so once that
+    // bound cannot beat the best completion the remaining counts are
+    // dominated and the scan stops. Ties prefer the smaller allocation
+    // (same completion, fewer CPU-hours).
+    int best_np = -1;
+    double best_start = 0.0, best_completion = 0.0;
+    for (int np = bound[ti]; np >= 1; --np) {
+      double exec = dag::exec_time(dag.cost(task), np);
+      // exec only grows as np shrinks, so once even an immediate start can't
+      // beat the incumbent, this and every smaller np are dominated.
+      if (best_np > 0 && ready + exec > best_completion) break;
+      auto start = profile.earliest_fit(np, exec, ready);
+      if (!start) continue;  // np exceeds momentary capacity
+      double completion = *start + exec;
+      if (best_np < 0 || completion < best_completion ||
+          (completion == best_completion && np < best_np)) {
+        best_np = np;
+        best_start = *start;
+        best_completion = completion;
+      }
+    }
+    RESCHED_ASSERT(best_np >= 1, "earliest fit must exist for some np");
+
+    TaskReservation r{best_np, best_start, best_completion};
+    result.schedule.tasks[ti] = r;
+    profile.add(r.as_reservation());
+  }
+
+  result.turnaround = result.schedule.turnaround(now);
+  result.cpu_hours = result.schedule.cpu_hours();
+  return result;
+}
+
+}  // namespace resched::core

@@ -1,0 +1,89 @@
+// RESSCHED — minimizing turn-around time under advance reservations
+// (paper §4).
+//
+// All algorithms share two phases:
+//   1. compute a bottom level for every task (four BL_* variants differ in
+//      the allocations assumed while doing so) and sort tasks by decreasing
+//      bottom level;
+//   2. for each task in order, choose the <processor count, start time>
+//      pair with the earliest completion time among feasible fits in the
+//      reservation calendar, with the processor count bounded by one of the
+//      BD_* variants.
+//
+// The 4 x 3 combinations of the paper (plus the BD_HALF strawman of §4.3.2)
+// are all expressible; BL_CPA_BD_CPA on an empty calendar reproduces the
+// plain CPA schedule exactly.
+//
+// Worst-case complexities (paper Table 8), with V tasks, E edges, P
+// processors, P' the historical average availability, and R competing
+// reservations: phase 1 is dominated by the CPA allocation runs,
+// O(V (V+E) P') (plus O(V (V+E) P) when a *_CPA variant also needs the
+// full-platform allocations); phase 2 tries up to N processor counts per
+// task against a calendar that grows by one reservation per task,
+// O(V R N + V^2 N) with N = P for BD_ALL / BD_CPA and N = P' for BD_CPAR:
+//
+//   BD_ALL   O(V^2 P' + V^2 P + V E P' + V R P)
+//   BD_CPA   O(V^2 P' + V^2 P + V E P' + V E P + V R P)
+//   BD_CPAR  O(V^2 P' + V E P' + V R P')
+//
+// In practice the dominated-count pruning in phase 2 stops the per-task
+// scan after a handful of processor counts (see schedule_ressched).
+#pragma once
+
+#include "src/core/schedule.hpp"
+#include "src/cpa/cpa.hpp"
+#include "src/dag/dag.hpp"
+#include "src/resv/profile.hpp"
+
+namespace resched::core {
+
+/// How task execution times are estimated when computing bottom levels
+/// (paper §4.2, question 1).
+enum class BlMethod {
+  kOne,   ///< BL_1   — every task on a single processor
+  kAll,   ///< BL_ALL — every task on all p processors
+  kCpa,   ///< BL_CPA — CPA allocations computed with q = p
+  kCpar,  ///< BL_CPAR — CPA allocations computed with q = historical average
+};
+
+/// How per-task allocations are bounded in phase 2 (paper §4.2, question 2).
+enum class BdMethod {
+  kAll,   ///< BD_ALL  — bounded only by p
+  kHalf,  ///< BD_HALF — arbitrarily bounded by p / 2 (§4.3.2 strawman)
+  kCpa,   ///< BD_CPA  — bounded by CPA allocations with q = p
+  kCpar,  ///< BD_CPAR — bounded by CPA allocations with q = historical avg
+};
+
+const char* to_string(BlMethod m);
+const char* to_string(BdMethod m);
+
+struct ResschedParams {
+  BlMethod bl = BlMethod::kCpar;
+  BdMethod bd = BdMethod::kCpar;
+  cpa::Options cpa;  ///< stopping-criterion selection for the CPA phases
+};
+
+struct ResschedResult {
+  AppSchedule schedule;
+  double turnaround = 0.0;
+  double cpu_hours = 0.0;
+};
+
+/// Computes a schedule at time `now` on the platform described by
+/// `competing` (capacity + existing reservations). `q_hist` is the
+/// historical average number of available processors used by the *_CPAR
+/// variants (see resv::historical_average_available).
+ResschedResult schedule_ressched(const dag::Dag& dag,
+                                 const resv::AvailabilityProfile& competing,
+                                 double now, int q_hist,
+                                 const ResschedParams& params);
+
+/// Shared helper: per-task allocations used to compute bottom levels.
+std::vector<int> bl_allocations(const dag::Dag& dag, int p, int q_hist,
+                                BlMethod method, const cpa::Options& cpa);
+
+/// Shared helper: per-task allocation bounds for phase 2.
+std::vector<int> bd_bounds(const dag::Dag& dag, int p, int q_hist,
+                           BdMethod method, const cpa::Options& cpa);
+
+}  // namespace resched::core

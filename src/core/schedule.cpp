@@ -1,0 +1,92 @@
+#include "src/core/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/util/error.hpp"
+
+namespace resched::core {
+
+double AppSchedule::finish_time() const {
+  RESCHED_CHECK(!tasks.empty(), "empty schedule has no finish time");
+  double end = tasks.front().finish;
+  for (const TaskReservation& t : tasks) end = std::max(end, t.finish);
+  return end;
+}
+
+double AppSchedule::cpu_hours() const {
+  double hours = 0.0;
+  for (const TaskReservation& t : tasks)
+    hours += static_cast<double>(t.procs) * (t.finish - t.start) / 3600.0;
+  return hours;
+}
+
+std::optional<std::string> validate_schedule(
+    const dag::Dag& dag, const AppSchedule& schedule,
+    const resv::AvailabilityProfile& competing, double now) {
+  std::ostringstream err;
+  if (static_cast<int>(schedule.tasks.size()) != dag.size()) {
+    err << "schedule covers " << schedule.tasks.size() << " of " << dag.size()
+        << " tasks";
+    return err.str();
+  }
+
+  const int p = competing.capacity();
+  // exec-time match tolerance: placements are computed with the same doubles,
+  // so equality should be near-exact.
+  constexpr double kTol = 1e-6;
+
+  for (int v = 0; v < dag.size(); ++v) {
+    const TaskReservation& r = schedule.tasks[static_cast<std::size_t>(v)];
+    if (r.procs < 1 || r.procs > p) {
+      err << "task " << v << " uses " << r.procs << " procs (capacity " << p
+          << ")";
+      return err.str();
+    }
+    if (r.start < now - kTol) {
+      err << "task " << v << " starts at " << r.start
+          << ", before scheduling time " << now;
+      return err.str();
+    }
+    double expected = dag::exec_time(dag.cost(v), r.procs);
+    if (std::abs((r.finish - r.start) - expected) >
+        kTol * std::max(1.0, expected)) {
+      err << "task " << v << " reservation length " << (r.finish - r.start)
+          << " != execution time " << expected;
+      return err.str();
+    }
+    for (int pred : dag.predecessors(v)) {
+      const TaskReservation& pr =
+          schedule.tasks[static_cast<std::size_t>(pred)];
+      if (r.start < pr.finish - kTol) {
+        err << "task " << v << " starts at " << r.start
+            << " before predecessor " << pred << " finishes at " << pr.finish;
+        return err.str();
+      }
+    }
+  }
+
+  // Capacity check: replay the task reservations on a copy of the competing
+  // profile, verifying availability before each commit.
+  resv::AvailabilityProfile replay = competing;
+  // Commit in start order so partially-overlapping reservations accumulate.
+  std::vector<int> order(static_cast<std::size_t>(dag.size()));
+  for (int v = 0; v < dag.size(); ++v) order[static_cast<std::size_t>(v)] = v;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return schedule.tasks[static_cast<std::size_t>(a)].start <
+           schedule.tasks[static_cast<std::size_t>(b)].start;
+  });
+  for (int v : order) {
+    const TaskReservation& r = schedule.tasks[static_cast<std::size_t>(v)];
+    if (replay.min_available(r.start, r.finish) < r.procs) {
+      err << "task " << v << " over-subscribes the platform in [" << r.start
+          << ", " << r.finish << ")";
+      return err.str();
+    }
+    replay.add(r.as_reservation());
+  }
+  return std::nullopt;
+}
+
+}  // namespace resched::core

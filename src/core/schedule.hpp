@@ -1,0 +1,56 @@
+// Application schedules: one advance reservation per task (paper §3.1).
+//
+// The paper schedules a mixed-parallel application as a set of per-task
+// reservations — a <number of processors, start time> pair for every task —
+// on top of a calendar of competing reservations. This module holds the
+// result representation, the two evaluation metrics (turn-around time,
+// §4.3; CPU-hours, §4.3.2/§5.3), and an independent validity checker used
+// by the test suite to certify every algorithm's output.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/dag/dag.hpp"
+#include "src/resv/profile.hpp"
+#include "src/resv/reservation.hpp"
+
+namespace resched::core {
+
+/// The reservation granted to one task.
+struct TaskReservation {
+  int procs = 0;
+  double start = 0.0;
+  double finish = 0.0;
+
+  resv::Reservation as_reservation() const {
+    return {.start = start, .end = finish, .procs = procs};
+  }
+};
+
+/// A complete application schedule: tasks_[i] is task i's reservation.
+struct AppSchedule {
+  std::vector<TaskReservation> tasks;
+
+  /// Completion time of the whole application (max task finish).
+  double finish_time() const;
+  /// Turn-around time: completion minus scheduling instant (paper §3.3).
+  double turnaround(double now) const { return finish_time() - now; }
+  /// Total reserved processor-hours across all tasks.
+  double cpu_hours() const;
+};
+
+/// Checks every invariant a schedule must satisfy:
+///  * one reservation per task, procs in [1, capacity];
+///  * reservation duration equals the task model's execution time;
+///  * no task starts before `now`;
+///  * precedence: every task starts at or after all its predecessors end;
+///  * capacity: together with the competing reservations already in
+///    `competing`, no instant over-subscribes the platform.
+/// Returns std::nullopt when valid, else a human-readable violation.
+std::optional<std::string> validate_schedule(
+    const dag::Dag& dag, const AppSchedule& schedule,
+    const resv::AvailabilityProfile& competing, double now);
+
+}  // namespace resched::core

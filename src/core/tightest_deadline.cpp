@@ -1,0 +1,69 @@
+#include "src/core/tightest_deadline.hpp"
+
+#include <algorithm>
+
+#include "src/util/error.hpp"
+
+namespace resched::core {
+
+TightestDeadlineResult tightest_deadline(
+    const dag::Dag& dag, const resv::AvailabilityProfile& competing,
+    double now, int q_hist, const DeadlineParams& params,
+    const TightestDeadlineOptions& opts) {
+  auto ctx = make_deadline_context(dag, competing.capacity(), q_hist,
+                                   params.cpa, guidelines_for(params.algo));
+
+  TightestDeadlineResult result;
+  auto probe = [&](double deadline) {
+    ++result.probes;
+    return schedule_deadline(dag, competing, now, q_hist, deadline, params,
+                             ctx);
+  };
+
+  // Infeasibility floor: even with all p processors per task the critical
+  // path cannot compress below this.
+  std::vector<int> all_p(static_cast<std::size_t>(dag.size()),
+                         competing.capacity());
+  double lo = now + dag::critical_path_length(dag, all_p);
+
+  // Bracket a feasible deadline: start from the BD_CPAR turn-around (a
+  // constructive upper bound on what a good schedule needs) and double the
+  // span until this algorithm succeeds.
+  ResschedParams fwd;
+  fwd.cpa = params.cpa;
+  double span = std::max(
+      schedule_ressched(dag, competing, now, q_hist, fwd).turnaround,
+      lo - now);
+  double hi = now + span;
+  DeadlineResult hi_result = probe(hi);
+  while (!hi_result.feasible && result.probes < opts.max_probes) {
+    span *= 2.0;
+    hi = now + span;
+    hi_result = probe(hi);
+  }
+  if (!hi_result.feasible) {
+    // Pathological: report the last (loosest) attempt as infeasible.
+    result.deadline = hi;
+    result.at_deadline = std::move(hi_result);
+    return result;
+  }
+
+  // Bisect; `hi` always stays feasible with its schedule retained.
+  while (result.probes < opts.max_probes) {
+    double width = hi - std::max(lo, now);
+    if (width <= std::max(opts.abs_tol, opts.rel_tol * (hi - now))) break;
+    double mid = std::max(lo, now) + width / 2.0;
+    DeadlineResult mid_result = probe(mid);
+    if (mid_result.feasible) {
+      hi = mid;
+      hi_result = std::move(mid_result);
+    } else {
+      lo = mid;
+    }
+  }
+  result.deadline = hi;
+  result.at_deadline = std::move(hi_result);
+  return result;
+}
+
+}  // namespace resched::core

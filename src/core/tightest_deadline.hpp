@@ -1,0 +1,33 @@
+// Tightest achievable deadline per algorithm (paper §5.3).
+//
+// The paper's first deadline metric is the earliest deadline K for which an
+// algorithm still produces a feasible schedule, found by binary search. The
+// critical path length with every task on p processors lower-bounds any
+// schedule; an exponential search upward from the BD_CPAR turn-around time
+// brackets a feasible K, and bisection narrows the bracket to tolerance.
+#pragma once
+
+#include "src/core/resscheddl.hpp"
+#include "src/core/ressched.hpp"
+
+namespace resched::core {
+
+struct TightestDeadlineOptions {
+  double rel_tol = 2e-3;   ///< bracket width vs (deadline − now)
+  double abs_tol = 60.0;   ///< bracket width floor [seconds]
+  int max_probes = 64;     ///< hard cap on feasibility probes
+};
+
+struct TightestDeadlineResult {
+  double deadline = 0.0;        ///< tightest K found feasible
+  DeadlineResult at_deadline;   ///< the schedule achieving it
+  int probes = 0;               ///< feasibility probes spent
+};
+
+/// Finds the tightest deadline `params.algo` can meet at time `now`.
+TightestDeadlineResult tightest_deadline(
+    const dag::Dag& dag, const resv::AvailabilityProfile& competing,
+    double now, int q_hist, const DeadlineParams& params,
+    const TightestDeadlineOptions& opts = {});
+
+}  // namespace resched::core

@@ -1,0 +1,100 @@
+#include "src/cpa/cpa.hpp"
+
+#include <algorithm>
+
+#include "src/util/error.hpp"
+
+namespace resched::cpa {
+
+std::vector<int> allocations(const dag::Dag& dag, int q,
+                             const Options& opts) {
+  RESCHED_CHECK(q >= 1, "need at least one processor");
+  const int n = dag.size();
+  std::vector<int> alloc(static_cast<std::size_t>(n), 1);
+
+  // Per-task allocation caps: the improved criterion reserves each task its
+  // fair share of q among the tasks of its precedence level.
+  std::vector<int> cap(static_cast<std::size_t>(n), q);
+  if (opts.criterion == Criterion::kImproved) {
+    std::vector<int> level_width(static_cast<std::size_t>(dag.num_levels()),
+                                 0);
+    for (int lvl : dag.levels()) ++level_width[static_cast<std::size_t>(lvl)];
+    for (int v = 0; v < n; ++v) {
+      int w = level_width[static_cast<std::size_t>(
+          dag.levels()[static_cast<std::size_t>(v)])];
+      cap[static_cast<std::size_t>(v)] = std::max(
+          1, std::min(q, (q + w - 1) / w));
+    }
+  }
+
+  // Average area, maintained incrementally as allocations grow.
+  double area = 0.0;
+  for (int v = 0; v < n; ++v) area += dag::work(dag.cost(v), 1);
+  double t_a = area / static_cast<double>(q);
+
+  // Each iteration adds one processor to one task, so the loop is bounded
+  // by n * (q - 1) even if T_CP never dips below T_A.
+  while (true) {
+    auto bl = dag::bottom_levels(dag, alloc);
+    double t_cp = *std::max_element(bl.begin(), bl.end());
+    if (t_cp <= t_a) break;
+
+    // Candidate: critical-path task with the largest relative execution-time
+    // reduction from one extra processor; ties go to the longer bottom level
+    // (the more schedule-critical task).
+    int best = -1;
+    double best_gain = 0.0;
+    for (int v : dag::critical_path_tasks(dag, alloc)) {
+      auto vi = static_cast<std::size_t>(v);
+      if (alloc[vi] >= cap[vi]) continue;
+      double cur = dag::exec_time(dag.cost(v), alloc[vi]);
+      double nxt = dag::exec_time(dag.cost(v), alloc[vi] + 1);
+      double gain = cur <= 0.0 ? 0.0 : (cur - nxt) / cur;
+      if (best < 0 || gain > best_gain ||
+          (gain == best_gain && bl[vi] > bl[static_cast<std::size_t>(best)])) {
+        best = v;
+        best_gain = gain;
+      }
+    }
+    if (best < 0 || best_gain <= 0.0) break;  // saturated: no useful growth
+
+    auto bi = static_cast<std::size_t>(best);
+    t_a += (dag::work(dag.cost(best), alloc[bi] + 1) -
+            dag::work(dag.cost(best), alloc[bi])) /
+           static_cast<double>(q);
+    ++alloc[bi];
+  }
+  return alloc;
+}
+
+CpaSchedule schedule(const dag::Dag& dag, int q, double t0,
+                     const Options& opts) {
+  CpaSchedule out;
+  out.alloc = allocations(dag, q, opts);
+  auto bl = dag::bottom_levels(dag, out.alloc);
+  auto order = dag::order_by_decreasing(dag, bl);
+  out.placements = list_schedule(dag, out.alloc, q, t0, order);
+  out.makespan = makespan(out.placements, t0);
+  for (int v = 0; v < dag.size(); ++v)
+    out.cpu_hours += dag::work(dag.cost(v),
+                               out.alloc[static_cast<std::size_t>(v)]) /
+                     3600.0;
+  return out;
+}
+
+SubdagGuideline subdag_guideline(const dag::Dag& dag,
+                                 const std::vector<bool>& keep, int q,
+                                 const Options& opts) {
+  auto sub = dag::induced_subdag(dag, keep);
+  CpaSchedule sched = schedule(sub.dag, q, 0.0, opts);
+  SubdagGuideline out;
+  out.start.assign(static_cast<std::size_t>(dag.size()), -1.0);
+  out.makespan = sched.makespan;
+  for (int new_id = 0; new_id < sub.dag.size(); ++new_id)
+    out.start[static_cast<std::size_t>(sub.to_original[
+        static_cast<std::size_t>(new_id)])] =
+        sched.placements[static_cast<std::size_t>(new_id)].start;
+  return out;
+}
+
+}  // namespace resched::cpa

@@ -1,0 +1,49 @@
+#include "src/cpa/list_schedule.hpp"
+
+#include <algorithm>
+
+#include "src/util/error.hpp"
+
+namespace resched::cpa {
+
+std::vector<Placement> list_schedule(const dag::Dag& dag,
+                                     std::span<const int> alloc, int q,
+                                     double t0, std::span<const int> order) {
+  RESCHED_CHECK(static_cast<int>(alloc.size()) == dag.size(),
+                "allocation vector size must match DAG size");
+  RESCHED_CHECK(static_cast<int>(order.size()) == dag.size(),
+                "priority order must cover every task");
+  RESCHED_CHECK(q >= 1, "need at least one processor");
+
+  std::vector<double> proc_free(static_cast<std::size_t>(q), t0);
+  std::vector<Placement> placed(alloc.size(), Placement{-1.0, -1.0});
+
+  for (int task : order) {
+    auto ti = static_cast<std::size_t>(task);
+    int k = alloc[ti];
+    RESCHED_CHECK(k >= 1 && k <= q, "allocation outside [1, q]");
+    double ready = t0;
+    for (int pred : dag.predecessors(task)) {
+      const Placement& pp = placed[static_cast<std::size_t>(pred)];
+      RESCHED_CHECK(pp.finish >= 0.0,
+                    "priority order must schedule predecessors first");
+      ready = std::max(ready, pp.finish);
+    }
+    // Claim the k processors that free up earliest: sorting proc_free makes
+    // the k-th smallest the gating availability.
+    std::sort(proc_free.begin(), proc_free.end());
+    double start = std::max(ready, proc_free[static_cast<std::size_t>(k - 1)]);
+    double finish = start + dag::exec_time(dag.cost(task), k);
+    for (int j = 0; j < k; ++j) proc_free[static_cast<std::size_t>(j)] = finish;
+    placed[ti] = Placement{start, finish};
+  }
+  return placed;
+}
+
+double makespan(std::span<const Placement> placements, double t0) {
+  double end = t0;
+  for (const Placement& p : placements) end = std::max(end, p.finish);
+  return end - t0;
+}
+
+}  // namespace resched::cpa

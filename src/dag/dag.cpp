@@ -1,0 +1,191 @@
+#include "src/dag/dag.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <set>
+
+#include "src/util/error.hpp"
+
+namespace resched::dag {
+
+Dag::Dag(std::vector<TaskCost> costs,
+         std::span<const std::pair<int, int>> edges)
+    : costs_(std::move(costs)) {
+  const int n = size();
+  RESCHED_CHECK(n > 0, "DAG must contain at least one task");
+  preds_.resize(static_cast<std::size_t>(n));
+  succs_.resize(static_cast<std::size_t>(n));
+
+  std::set<std::pair<int, int>> seen;
+  for (auto [from, to] : edges) {
+    RESCHED_CHECK(from >= 0 && from < n && to >= 0 && to < n,
+                  "edge endpoint out of range");
+    RESCHED_CHECK(from != to, "self-loop edge");
+    RESCHED_CHECK(seen.insert({from, to}).second, "duplicate edge");
+    succs_[static_cast<std::size_t>(from)].push_back(to);
+    preds_[static_cast<std::size_t>(to)].push_back(from);
+    ++num_edges_;
+  }
+
+  // Kahn's algorithm: topological order + cycle detection.
+  std::vector<int> indeg(static_cast<std::size_t>(n), 0);
+  for (int v = 0; v < n; ++v)
+    indeg[static_cast<std::size_t>(v)] =
+        static_cast<int>(preds_[static_cast<std::size_t>(v)].size());
+  std::vector<int> ready;
+  for (int v = 0; v < n; ++v)
+    if (indeg[static_cast<std::size_t>(v)] == 0) ready.push_back(v);
+  topo_.reserve(static_cast<std::size_t>(n));
+  for (std::size_t head = 0; head < ready.size(); ++head) {
+    int v = ready[head];
+    topo_.push_back(v);
+    for (int s : succs_[static_cast<std::size_t>(v)])
+      if (--indeg[static_cast<std::size_t>(s)] == 0) ready.push_back(s);
+  }
+  RESCHED_CHECK(static_cast<int>(topo_.size()) == n, "graph contains a cycle");
+
+  for (int v = 0; v < n; ++v) {
+    if (preds_[static_cast<std::size_t>(v)].empty()) entries_.push_back(v);
+    if (succs_[static_cast<std::size_t>(v)].empty()) exits_.push_back(v);
+  }
+
+  // Longest-path levels in topological order.
+  levels_.assign(static_cast<std::size_t>(n), 0);
+  for (int v : topo_)
+    for (int s : succs_[static_cast<std::size_t>(v)])
+      levels_[static_cast<std::size_t>(s)] =
+          std::max(levels_[static_cast<std::size_t>(s)],
+                   levels_[static_cast<std::size_t>(v)] + 1);
+  num_levels_ = 1 + *std::max_element(levels_.begin(), levels_.end());
+  std::vector<int> width(static_cast<std::size_t>(num_levels_), 0);
+  for (int lvl : levels_) ++width[static_cast<std::size_t>(lvl)];
+  max_width_ = *std::max_element(width.begin(), width.end());
+}
+
+std::size_t Dag::checked(int task) const {
+  RESCHED_CHECK(task >= 0 && task < size(), "task index out of range");
+  return static_cast<std::size_t>(task);
+}
+
+namespace {
+std::vector<double> exec_times(const Dag& dag, std::span<const int> alloc) {
+  RESCHED_CHECK(static_cast<int>(alloc.size()) == dag.size(),
+                "allocation vector size must match DAG size");
+  std::vector<double> exec(alloc.size());
+  for (int v = 0; v < dag.size(); ++v)
+    exec[static_cast<std::size_t>(v)] =
+        exec_time(dag.cost(v), alloc[static_cast<std::size_t>(v)]);
+  return exec;
+}
+}  // namespace
+
+std::vector<double> bottom_levels(const Dag& dag, std::span<const int> alloc) {
+  auto exec = exec_times(dag, alloc);
+  std::vector<double> bl(exec.size(), 0.0);
+  const auto& topo = dag.topological_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    int v = *it;
+    double best = 0.0;
+    for (int s : dag.successors(v))
+      best = std::max(best, bl[static_cast<std::size_t>(s)]);
+    bl[static_cast<std::size_t>(v)] = exec[static_cast<std::size_t>(v)] + best;
+  }
+  return bl;
+}
+
+std::vector<double> top_levels(const Dag& dag, std::span<const int> alloc) {
+  auto exec = exec_times(dag, alloc);
+  std::vector<double> tl(exec.size(), 0.0);
+  for (int v : dag.topological_order())
+    for (int s : dag.successors(v))
+      tl[static_cast<std::size_t>(s)] =
+          std::max(tl[static_cast<std::size_t>(s)],
+                   tl[static_cast<std::size_t>(v)] +
+                       exec[static_cast<std::size_t>(v)]);
+  return tl;
+}
+
+double critical_path_length(const Dag& dag, std::span<const int> alloc) {
+  auto bl = bottom_levels(dag, alloc);
+  return *std::max_element(bl.begin(), bl.end());
+}
+
+std::vector<int> critical_path_tasks(const Dag& dag,
+                                     std::span<const int> alloc) {
+  auto bl = bottom_levels(dag, alloc);
+  auto tl = top_levels(dag, alloc);
+  double cp = *std::max_element(bl.begin(), bl.end());
+  // Relative tolerance guards against accumulation differences between the
+  // forward (top level) and backward (bottom level) sweeps.
+  double tol = 1e-9 * std::max(1.0, cp);
+  std::vector<int> on_cp;
+  for (int v : dag.topological_order()) {
+    auto i = static_cast<std::size_t>(v);
+    if (tl[i] + bl[i] >= cp - tol) on_cp.push_back(v);
+  }
+  return on_cp;
+}
+
+Dag scale_costs(const Dag& dag, double factor) {
+  RESCHED_CHECK(factor > 0.0, "cost scale factor must be positive");
+  std::vector<TaskCost> costs;
+  costs.reserve(static_cast<std::size_t>(dag.size()));
+  for (int v = 0; v < dag.size(); ++v) {
+    TaskCost c = dag.cost(v);
+    c.seq_time *= factor;
+    costs.push_back(c);
+  }
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(static_cast<std::size_t>(dag.num_edges()));
+  for (int v = 0; v < dag.size(); ++v)
+    for (int s : dag.successors(v)) edges.emplace_back(v, s);
+  return Dag(std::move(costs), edges);
+}
+
+SubDag induced_subdag(const Dag& dag, const std::vector<bool>& keep) {
+  RESCHED_CHECK(static_cast<int>(keep.size()) == dag.size(),
+                "keep mask size must match DAG size");
+  std::vector<int> to_original;
+  std::vector<int> to_new(keep.size(), -1);
+  for (int v = 0; v < dag.size(); ++v) {
+    if (!keep[static_cast<std::size_t>(v)]) continue;
+    to_new[static_cast<std::size_t>(v)] =
+        static_cast<int>(to_original.size());
+    to_original.push_back(v);
+  }
+  RESCHED_CHECK(!to_original.empty(), "induced sub-DAG must be non-empty");
+
+  std::vector<TaskCost> costs;
+  costs.reserve(to_original.size());
+  for (int old_id : to_original) costs.push_back(dag.cost(old_id));
+
+  std::vector<std::pair<int, int>> edges;
+  for (int old_id : to_original)
+    for (int s : dag.successors(old_id))
+      if (to_new[static_cast<std::size_t>(s)] >= 0)
+        edges.emplace_back(to_new[static_cast<std::size_t>(old_id)],
+                           to_new[static_cast<std::size_t>(s)]);
+
+  return SubDag{Dag(std::move(costs), edges), std::move(to_original)};
+}
+
+std::vector<int> order_by_decreasing(const Dag& dag,
+                                     std::span<const double> key) {
+  RESCHED_CHECK(static_cast<int>(key.size()) == dag.size(),
+                "key vector size must match DAG size");
+  // Rank in topological order so equal keys keep precedence order.
+  std::vector<int> topo_rank(key.size());
+  const auto& topo = dag.topological_order();
+  for (std::size_t r = 0; r < topo.size(); ++r)
+    topo_rank[static_cast<std::size_t>(topo[r])] = static_cast<int>(r);
+  std::vector<int> order(key.size());
+  for (std::size_t v = 0; v < key.size(); ++v) order[v] = static_cast<int>(v);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    auto ia = static_cast<std::size_t>(a), ib = static_cast<std::size_t>(b);
+    if (key[ia] != key[ib]) return key[ia] > key[ib];
+    return topo_rank[ia] < topo_rank[ib];
+  });
+  return order;
+}
+
+}  // namespace resched::dag

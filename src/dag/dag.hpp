@@ -1,0 +1,105 @@
+// Directed acyclic task graph (paper §3.1).
+//
+// A Dag owns both the precedence structure and the per-task cost parameters.
+// Construction validates acyclicity; accessors expose predecessor/successor
+// lists, a topological order, longest-path levels, and the level-based and
+// cost-based quantities (top/bottom levels) the schedulers build on.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/dag/task_model.hpp"
+
+namespace resched::dag {
+
+/// Immutable DAG of data-parallel tasks. Vertices are dense ints [0, size).
+class Dag {
+ public:
+  /// Builds a DAG from explicit edges; throws resched::Error on cycles,
+  /// out-of-range endpoints, self-loops, or duplicate edges.
+  Dag(std::vector<TaskCost> costs,
+      std::span<const std::pair<int, int>> edges);
+
+  int size() const { return static_cast<int>(costs_.size()); }
+  int num_edges() const { return num_edges_; }
+
+  const TaskCost& cost(int task) const { return costs_.at(checked(task)); }
+  const std::vector<int>& predecessors(int task) const {
+    return preds_.at(checked(task));
+  }
+  const std::vector<int>& successors(int task) const {
+    return succs_.at(checked(task));
+  }
+
+  /// A fixed topological order (parents before children).
+  const std::vector<int>& topological_order() const { return topo_; }
+
+  /// Tasks with no predecessors / successors.
+  const std::vector<int>& entries() const { return entries_; }
+  const std::vector<int>& exits() const { return exits_; }
+  bool has_single_entry_exit() const {
+    return entries_.size() == 1 && exits_.size() == 1;
+  }
+
+  /// Longest-path depth of each task (entries have level 0).
+  const std::vector<int>& levels() const { return levels_; }
+  /// Number of distinct levels (DAG "height").
+  int num_levels() const { return num_levels_; }
+  /// Maximum number of tasks sharing one level — the DAG's task-parallelism
+  /// width used by the improved CPA stopping criterion.
+  int max_width() const { return max_width_; }
+
+ private:
+  std::size_t checked(int task) const;
+
+  std::vector<TaskCost> costs_;
+  std::vector<std::vector<int>> preds_;
+  std::vector<std::vector<int>> succs_;
+  std::vector<int> topo_;
+  std::vector<int> entries_;
+  std::vector<int> exits_;
+  std::vector<int> levels_;
+  int num_levels_ = 0;
+  int max_width_ = 0;
+  int num_edges_ = 0;
+};
+
+/// Bottom level of every task: exec time of the task plus the longest
+/// downstream path, where task i runs on alloc[i] processors.
+/// bl[i] = exec(i, alloc[i]) + max over successors s of bl[s].
+std::vector<double> bottom_levels(const Dag& dag, std::span<const int> alloc);
+
+/// Top level of every task: length of the longest upstream path *excluding*
+/// the task itself. tl[i] = max over predecessors q of (tl[q] + exec(q)).
+std::vector<double> top_levels(const Dag& dag, std::span<const int> alloc);
+
+/// Critical path length = max over tasks of bottom level.
+double critical_path_length(const Dag& dag, std::span<const int> alloc);
+
+/// Tasks lying on some critical path (tl[i] + bl[i] == CP length, within
+/// relative tolerance), in topological order.
+std::vector<int> critical_path_tasks(const Dag& dag,
+                                     std::span<const int> alloc);
+
+/// Order tasks by decreasing key, breaking ties by topological position so
+/// that predecessors always precede successors whenever keys tie.
+std::vector<int> order_by_decreasing(const Dag& dag,
+                                     std::span<const double> key);
+
+/// Copy of the DAG with every sequential execution time multiplied by
+/// `factor` (> 0) — used to model pessimistic runtime estimates (paper
+/// §3.1: reservations are made from overestimated execution times).
+Dag scale_costs(const Dag& dag, double factor);
+
+/// Sub-DAG induced by the tasks with keep[i] == true, plus the mapping from
+/// new (dense) task ids back to the original ids. Edges are retained only
+/// when both endpoints are kept. keep must select at least one task.
+struct SubDag {
+  Dag dag;
+  std::vector<int> to_original;  ///< to_original[new_id] == old_id
+};
+SubDag induced_subdag(const Dag& dag, const std::vector<bool>& keep);
+
+}  // namespace resched::dag

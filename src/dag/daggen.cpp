@@ -1,0 +1,130 @@
+#include "src/dag/daggen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "src/util/error.hpp"
+
+namespace resched::dag {
+
+namespace {
+
+void validate(const DagSpec& spec) {
+  RESCHED_CHECK(spec.num_tasks >= 3, "DagSpec: need at least 3 tasks");
+  RESCHED_CHECK(spec.width > 0.0 && spec.width <= 1.0,
+                "DagSpec: width in (0, 1]");
+  RESCHED_CHECK(spec.density >= 0.0 && spec.density <= 1.0,
+                "DagSpec: density in [0, 1]");
+  RESCHED_CHECK(spec.regularity > 0.0 && spec.regularity <= 1.0,
+                "DagSpec: regularity in (0, 1]");
+  RESCHED_CHECK(spec.jump >= 1 && spec.jump <= 4, "DagSpec: jump in {1..4}");
+  RESCHED_CHECK(spec.min_seq_time > 0.0 &&
+                    spec.min_seq_time <= spec.max_seq_time,
+                "DagSpec: 0 < min_seq_time <= max_seq_time");
+}
+
+/// Interior level sizes summing to exactly `interior` tasks.
+std::vector<int> draw_level_sizes(const DagSpec& spec, int interior,
+                                  util::Rng& rng) {
+  // Mean interior level size: n^width, at least 1.
+  double mean =
+      std::max(1.0, std::pow(static_cast<double>(spec.num_tasks), spec.width));
+  std::vector<int> sizes;
+  int placed = 0;
+  while (placed < interior) {
+    double u = rng.uniform(spec.regularity, 2.0 - spec.regularity);
+    int s = std::max(1, static_cast<int>(std::lround(u * mean)));
+    s = std::min(s, interior - placed);
+    sizes.push_back(s);
+    placed += s;
+  }
+  return sizes;
+}
+
+}  // namespace
+
+Dag generate(const DagSpec& spec, util::Rng& rng) {
+  validate(spec);
+  const int n = spec.num_tasks;
+  const int interior = n - 2;
+
+  std::vector<int> level_sizes = draw_level_sizes(spec, interior, rng);
+  const int num_interior_levels = static_cast<int>(level_sizes.size());
+
+  // Assign dense task ids: 0 = entry, 1..n-2 interior by level, n-1 = exit.
+  std::vector<std::vector<int>> level_tasks(
+      static_cast<std::size_t>(num_interior_levels));
+  int next_id = 1;
+  for (int l = 0; l < num_interior_levels; ++l)
+    for (int k = 0; k < level_sizes[static_cast<std::size_t>(l)]; ++k)
+      level_tasks[static_cast<std::size_t>(l)].push_back(next_id++);
+  const int exit_id = n - 1;
+  RESCHED_ASSERT(next_id == exit_id, "interior task numbering mismatch");
+
+  std::vector<std::pair<int, int>> edges;
+
+  // Every first-level task descends from the entry.
+  for (int t : level_tasks.empty() ? std::vector<int>{} : level_tasks[0])
+    edges.emplace_back(0, t);
+
+  // Forward edges from the previous level: each task draws
+  // 1 + U(0, density * |prev|) distinct parents, guaranteeing connectivity.
+  for (int l = 1; l < num_interior_levels; ++l) {
+    const auto& prev = level_tasks[static_cast<std::size_t>(l - 1)];
+    auto prev_size = static_cast<int>(prev.size());
+    for (int t : level_tasks[static_cast<std::size_t>(l)]) {
+      int want = 1 + static_cast<int>(
+                         rng.uniform(0.0, spec.density *
+                                              static_cast<double>(prev_size)));
+      want = std::min(want, prev_size);
+      for (int idx : rng.sample_without_replacement(prev_size, want))
+        edges.emplace_back(prev[static_cast<std::size_t>(idx)], t);
+    }
+  }
+
+  // Jump edges: from level l to level l + k for k in [2, jump]; the
+  // per-task probability decays with distance so layered structure
+  // dominates, matching the paper's "random jump edges" addendum.
+  for (int k = 2; k <= spec.jump; ++k) {
+    for (int l = 0; l + k < num_interior_levels; ++l) {
+      const auto& src = level_tasks[static_cast<std::size_t>(l)];
+      auto src_size = static_cast<int>(src.size());
+      for (int t : level_tasks[static_cast<std::size_t>(l + k)]) {
+        if (!rng.bernoulli(spec.density * std::pow(0.5, k - 1))) continue;
+        int from = src[static_cast<std::size_t>(
+            rng.uniform_int(0, src_size - 1))];
+        // Forward edges already exist only from level l+k-1; a duplicate
+        // jump edge for the same pair is still possible across k values.
+        if (std::find(edges.begin(), edges.end(),
+                      std::make_pair(from, t)) == edges.end())
+          edges.emplace_back(from, t);
+      }
+    }
+  }
+
+  // Exit task collects every childless interior task (and the entry when
+  // there are no interior tasks at all).
+  std::vector<bool> has_child(static_cast<std::size_t>(n), false);
+  for (auto [from, to] : edges) {
+    (void)to;
+    has_child[static_cast<std::size_t>(from)] = true;
+  }
+  for (int t = 0; t < exit_id; ++t)
+    if (!has_child[static_cast<std::size_t>(t)]) edges.emplace_back(t, exit_id);
+
+  // Task costs: T_i ~ U(min_seq_time, max_seq_time), alpha_i ~ U(0, alpha).
+  std::vector<TaskCost> costs(static_cast<std::size_t>(n));
+  for (auto& c : costs) {
+    c.seq_time = rng.uniform(spec.min_seq_time, spec.max_seq_time);
+    c.alpha = rng.uniform(0.0, spec.alpha_max);
+  }
+
+  Dag dag(std::move(costs), edges);
+  RESCHED_ASSERT(dag.has_single_entry_exit(),
+                 "generator must produce single-entry single-exit DAGs");
+  return dag;
+}
+
+}  // namespace resched::dag

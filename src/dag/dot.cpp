@@ -1,0 +1,23 @@
+#include "src/dag/dot.hpp"
+
+#include <ostream>
+
+namespace resched::dag {
+
+void write_dot(std::ostream& os, const Dag& dag, const std::string& name,
+               std::span<const int> alloc) {
+  os << "digraph \"" << name << "\" {\n  rankdir=TB;\n";
+  for (int v = 0; v < dag.size(); ++v) {
+    os << "  t" << v << " [label=\"t" << v;
+    if (!alloc.empty()) {
+      int a = alloc[static_cast<std::size_t>(v)];
+      os << "\\nprocs=" << a << "\\nexec=" << exec_time(dag.cost(v), a) << "s";
+    }
+    os << "\"];\n";
+  }
+  for (int v = 0; v < dag.size(); ++v)
+    for (int s : dag.successors(v)) os << "  t" << v << " -> t" << s << ";\n";
+  os << "}\n";
+}
+
+}  // namespace resched::dag

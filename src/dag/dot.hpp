@@ -1,0 +1,17 @@
+// Graphviz DOT export for DAG inspection in the example applications.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "src/dag/dag.hpp"
+
+namespace resched::dag {
+
+/// Writes the DAG in Graphviz DOT format. When `alloc` is non-empty each
+/// node label includes its processor allocation and execution time.
+void write_dot(std::ostream& os, const Dag& dag, const std::string& name,
+               std::span<const int> alloc = {});
+
+}  // namespace resched::dag

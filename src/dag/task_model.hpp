@@ -1,0 +1,41 @@
+// Data-parallel task execution model (paper §3.1).
+//
+// Each DAG vertex is a data-parallel (malleable) task governed by Amdahl's
+// law: a fraction alpha of the sequential execution time T cannot be
+// parallelized, so on `procs` processors the task runs in
+//
+//     exec = T * (alpha + (1 - alpha) / procs).
+//
+// Execution time is strictly decreasing in procs (for alpha < 1) while the
+// consumed area procs * exec is strictly increasing — the diminishing-returns
+// trade-off every algorithm in the paper navigates.
+#pragma once
+
+#include "src/util/error.hpp"
+
+namespace resched::dag {
+
+/// Cost parameters of one data-parallel task.
+struct TaskCost {
+  double seq_time = 0.0;  ///< T: execution time on one processor [seconds].
+  double alpha = 0.0;     ///< non-parallelizable fraction, in [0, 1].
+};
+
+/// Execution time of the task on `procs` >= 1 processors [seconds].
+inline double exec_time(const TaskCost& cost, int procs) {
+  RESCHED_CHECK(procs >= 1, "task needs at least one processor");
+  return cost.seq_time *
+         (cost.alpha + (1.0 - cost.alpha) / static_cast<double>(procs));
+}
+
+/// Processor-seconds consumed when running on `procs` processors.
+inline double work(const TaskCost& cost, int procs) {
+  return static_cast<double>(procs) * exec_time(cost, procs);
+}
+
+/// Parallel efficiency on `procs` processors: exec(1) / (procs * exec(procs)).
+inline double efficiency(const TaskCost& cost, int procs) {
+  return exec_time(cost, 1) / work(cost, procs);
+}
+
+}  // namespace resched::dag

@@ -1,0 +1,66 @@
+// iCASLB — iterative Coupled processor Allocation and Scheduling with
+// Look-ahead and Backfilling (Vydyanathan et al. [47]; the paper's §7 names
+// it as the natural next step beyond CPA, including a direct adaptation to
+// advance-reservation scenarios).
+//
+// Unlike CPA's two decoupled phases, iCASLB evaluates every allocation
+// change against a *complete schedule*:
+//
+//   1. start with one processor per task and build a backfilling schedule
+//      (tasks drop into the earliest calendar hole that fits);
+//   2. repeatedly pick the critical-path task whose +1-processor growth
+//      yields the best full-schedule makespan (ties to least extra work);
+//   3. accept the move even when it temporarily worsens the makespan — up
+//      to `lookahead` consecutive non-improving moves — to climb out of
+//      local minima, and finally return the best schedule seen.
+//
+// Because the evaluation schedule is a real calendar placement, the same
+// loop runs unchanged on a platform with competing advance reservations:
+// schedule_icaslb_resv() is the reservation-aware adaptation the paper
+// proposes as future work, directly comparable to the BL_x_BD_y family on
+// RESSCHED instances (see bench_ext_icaslb).
+#pragma once
+
+#include "src/core/schedule.hpp"
+#include "src/dag/dag.hpp"
+#include "src/resv/profile.hpp"
+
+namespace resched::icaslb {
+
+struct Options {
+  /// Consecutive non-improving allocation moves tolerated before stopping.
+  int lookahead = 4;
+  /// Hard cap on allocation-growth steps (0 = V * q, the natural bound).
+  int max_steps = 0;
+  /// Cap each task's allocation at its level's fair share of q, as in the
+  /// improved CPA criterion; keeps the search space (and over-allocation)
+  /// small on big platforms.
+  bool fair_share_cap = true;
+  /// Start from the CPA allocations (for the historical average
+  /// availability) instead of one processor per task; the refinement loop
+  /// then only adapts the allocation to the calendar.
+  bool warm_start = true;
+};
+
+/// Result of an iCASLB run: allocations plus the realized placement.
+struct Result {
+  core::AppSchedule schedule;
+  std::vector<int> alloc;
+  double makespan = 0.0;   ///< completion − now
+  double cpu_hours = 0.0;
+  int steps = 0;           ///< allocation moves evaluated
+};
+
+/// Dedicated-platform iCASLB: schedules on q free processors at time t0.
+Result schedule_icaslb(const dag::Dag& dag, int q, double t0,
+                       const Options& opts = {});
+
+/// Reservation-aware iCASLB: minimizes turn-around time at `now` on the
+/// platform described by `competing` (capacity + existing reservations).
+/// This solves RESSCHED with a one-step algorithm instead of the paper's
+/// two-phase BL/BD family.
+Result schedule_icaslb_resv(const dag::Dag& dag,
+                            const resv::AvailabilityProfile& competing,
+                            double now, const Options& opts = {});
+
+}  // namespace resched::icaslb

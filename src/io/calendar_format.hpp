@@ -1,0 +1,35 @@
+// Text format for reservation calendars.
+//
+// Lets the CLI (and users) describe a platform's existing advance
+// reservations directly instead of deriving them from an SWF log. Grammar,
+// one directive per line, '#' starts a comment:
+//
+//     capacity <processors>          # exactly once, before any resv
+//     resv <start> <end> <procs>     # seconds; start < end
+//
+// Example:
+//
+//     capacity 128
+//     resv     3600  7200  64   # maintenance window
+//     resv    10800 18000  32
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/resv/profile.hpp"
+
+namespace resched::io {
+
+/// Parses a calendar file. Throws resched::Error with line numbers on
+/// malformed input.
+resv::AvailabilityProfile read_calendar(std::istream& in,
+                                        const std::string& source =
+                                            "<stream>");
+resv::AvailabilityProfile read_calendar_file(const std::string& path);
+
+/// Writes a capacity line plus one resv line per reservation.
+void write_calendar(std::ostream& out, int capacity,
+                    const resv::ReservationList& reservations);
+
+}  // namespace resched::io

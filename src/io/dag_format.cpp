@@ -1,0 +1,125 @@
+#include "src/io/dag_format.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "src/util/error.hpp"
+
+namespace resched::io {
+
+namespace {
+
+[[noreturn]] void syntax_error(const std::string& source, int line,
+                               const std::string& what) {
+  std::ostringstream os;
+  os << source << ":" << line << ": " << what;
+  throw Error(os.str());
+}
+
+}  // namespace
+
+int NamedDag::id_of(const std::string& name) const {
+  for (std::size_t i = 0; i < names.size(); ++i)
+    if (names[i] == name) return static_cast<int>(i);
+  throw Error("unknown task name: " + name);
+}
+
+NamedDag read_dag(std::istream& in, const std::string& source) {
+  std::vector<dag::TaskCost> costs;
+  std::vector<std::string> names;
+  std::map<std::string, int> ids;
+  // Edges may reference forward declarations; resolve after the scan.
+  std::vector<std::pair<std::string, std::string>> edge_names;
+  std::vector<int> edge_lines;
+
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    std::string directive;
+    if (!(fields >> directive)) continue;  // blank or comment-only
+
+    if (directive == "task") {
+      std::string name;
+      double seq_time = 0.0, alpha = 0.0;
+      if (!(fields >> name >> seq_time >> alpha))
+        syntax_error(source, lineno, "expected: task <name> <seconds> <alpha>");
+      if (ids.count(name))
+        syntax_error(source, lineno, "duplicate task '" + name + "'");
+      if (seq_time <= 0.0)
+        syntax_error(source, lineno, "task time must be positive");
+      if (alpha < 0.0 || alpha > 1.0)
+        syntax_error(source, lineno, "alpha must be in [0, 1]");
+      ids[name] = static_cast<int>(costs.size());
+      names.push_back(name);
+      costs.push_back({seq_time, alpha});
+    } else if (directive == "edge") {
+      std::string from, to;
+      if (!(fields >> from >> to))
+        syntax_error(source, lineno, "expected: edge <from> <to>");
+      edge_names.emplace_back(from, to);
+      edge_lines.push_back(lineno);
+    } else {
+      syntax_error(source, lineno, "unknown directive '" + directive + "'");
+    }
+  }
+  if (costs.empty()) syntax_error(source, lineno, "no tasks declared");
+
+  std::vector<std::pair<int, int>> edges;
+  for (std::size_t e = 0; e < edge_names.size(); ++e) {
+    auto from = ids.find(edge_names[e].first);
+    auto to = ids.find(edge_names[e].second);
+    if (from == ids.end())
+      syntax_error(source, edge_lines[e],
+                   "unknown task '" + edge_names[e].first + "'");
+    if (to == ids.end())
+      syntax_error(source, edge_lines[e],
+                   "unknown task '" + edge_names[e].second + "'");
+    edges.emplace_back(from->second, to->second);
+  }
+  // Dag's constructor reports cycles / duplicate edges with its own message.
+  return NamedDag{dag::Dag(std::move(costs), edges), std::move(names)};
+}
+
+NamedDag read_dag_file(const std::string& path) {
+  std::ifstream in(path);
+  RESCHED_CHECK(in.good(), "cannot open DAG file: " + path);
+  return read_dag(in, path);
+}
+
+void write_dag(std::ostream& out, const dag::Dag& dag,
+               const std::vector<std::string>& names) {
+  auto name_of = [&](int v) {
+    return v < static_cast<int>(names.size())
+               ? names[static_cast<std::size_t>(v)]
+               : "t" + std::to_string(v);
+  };
+  out.precision(17);
+  out << "# resched DAG: " << dag.size() << " tasks, " << dag.num_edges()
+      << " edges\n";
+  for (int v = 0; v < dag.size(); ++v)
+    out << "task " << name_of(v) << ' ' << dag.cost(v).seq_time << ' '
+        << dag.cost(v).alpha << "\n";
+  for (int v = 0; v < dag.size(); ++v)
+    for (int s : dag.successors(v))
+      out << "edge " << name_of(v) << ' ' << name_of(s) << "\n";
+}
+
+void write_schedule_csv(std::ostream& out, const core::AppSchedule& schedule,
+                        const std::vector<std::string>& names) {
+  out.precision(17);
+  out << "task,name,procs,start,finish,duration\n";
+  for (std::size_t v = 0; v < schedule.tasks.size(); ++v) {
+    const core::TaskReservation& r = schedule.tasks[v];
+    std::string name =
+        v < names.size() ? names[v] : "t" + std::to_string(v);
+    out << v << ',' << name << ',' << r.procs << ',' << r.start << ','
+        << r.finish << ',' << (r.finish - r.start) << "\n";
+  }
+}
+
+}  // namespace resched::io

@@ -1,0 +1,52 @@
+// Text format for mixed-parallel applications.
+//
+// A human-writable description so real workflows (not just daggen samples)
+// can be scheduled with the CLI driver and the library. Grammar, one
+// directive per line, '#' starts a comment:
+//
+//     task <name> <seq_time_seconds> <alpha>
+//     edge <from-name> <to-name>
+//
+// Task names are arbitrary non-whitespace tokens; edges may reference
+// tasks declared later. Example:
+//
+//     # three-stage pipeline
+//     task prep    1800  0.4
+//     task solve  36000  0.05
+//     task render  3600  0.2
+//     edge prep solve
+//     edge solve render
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/core/schedule.hpp"
+#include "src/dag/dag.hpp"
+
+namespace resched::io {
+
+struct NamedDag {
+  dag::Dag dag;
+  std::vector<std::string> names;  ///< names[task id] == declared name
+
+  /// Task id for a name; throws resched::Error when unknown.
+  int id_of(const std::string& name) const;
+};
+
+/// Parses the text format. Throws resched::Error with a line number on
+/// syntax errors, duplicate tasks, unknown edge endpoints, or cycles.
+NamedDag read_dag(std::istream& in, const std::string& source = "<stream>");
+NamedDag read_dag_file(const std::string& path);
+
+/// Writes a DAG in the same format (names default to t0, t1, ...).
+void write_dag(std::ostream& out, const dag::Dag& dag,
+               const std::vector<std::string>& names = {});
+
+/// Writes an application schedule as CSV:
+/// task,name,procs,start,finish,duration — one row per task.
+void write_schedule_csv(std::ostream& out, const core::AppSchedule& schedule,
+                        const std::vector<std::string>& names = {});
+
+}  // namespace resched::io

@@ -1,0 +1,49 @@
+// RESSCHEDDL on multi-cluster platforms (extension of paper §7).
+//
+// Backward scheduling carries over: tasks in increasing bottom-level order
+// must finish by the minimum start of their scheduled successors; the
+// placement choice gains a cluster dimension.
+//
+//  * Aggressive (DL_BD generalized): the <cluster, procs, start> triple
+//    with the latest start, processor counts bounded by the CPA reference
+//    allocation capped per cluster.
+//  * Conservative-λ (DL_RCBD_CPAR-λ generalized): a CPA guideline schedule
+//    on the reference cluster is stretched to the deadline budget; each
+//    task takes the *least-work* triple whose latest feasible start clears
+//    the λ-relaxed threshold (work = procs x duration x speed, the natural
+//    "fewest processors" on heterogeneous clusters), falling back to the
+//    aggressive choice; λ climbs 0 -> 1 until the deadline is met.
+#pragma once
+
+#include "src/multi/ressched_multi.hpp"
+
+namespace resched::multi {
+
+enum class MultiDlAlgo {
+  kAggressive,         ///< latest-start, CPA-bounded
+  kConservativeLambda  ///< λ-adaptive resource-conservative
+};
+
+const char* to_string(MultiDlAlgo algo);
+
+struct MultiDeadlineParams {
+  MultiDlAlgo algo = MultiDlAlgo::kConservativeLambda;
+  double lambda_step = 0.05;
+  cpa::Options cpa;
+  double history_window = 7 * 86400.0;
+};
+
+struct MultiDeadlineResult {
+  bool feasible = false;
+  core::AppSchedule schedule;
+  std::vector<int> cluster_of;
+  double cpu_hours = 0.0;     ///< speed-weighted work, as in MultiResult
+  double lambda_used = 0.0;
+};
+
+/// Attempts to complete the application by `deadline` at time `now`.
+MultiDeadlineResult schedule_deadline_multi(
+    const dag::Dag& dag, const MultiPlatform& platform, double now,
+    double deadline, const MultiDeadlineParams& params = {});
+
+}  // namespace resched::multi

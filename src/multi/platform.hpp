@@ -1,0 +1,67 @@
+// Multi-cluster platforms with advance reservations (paper §7's "broader
+// question": platforms beyond a single homogeneous cluster).
+//
+// A platform is a set of clusters, each with its own processor count,
+// relative per-processor speed (heterogeneity), and reservation calendar.
+// Data-parallel tasks do not span clusters (the paper's file-based
+// communication model makes cross-cluster SIMD impractical), so a
+// placement is a <cluster, processors, start> triple per task.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/dag/task_model.hpp"
+#include "src/resv/profile.hpp"
+#include "src/util/error.hpp"
+
+namespace resched::multi {
+
+struct Cluster {
+  std::string name;
+  double speed = 1.0;  ///< relative per-processor speed (1.0 = reference)
+  resv::AvailabilityProfile calendar;
+
+  Cluster(std::string cluster_name, int procs, double cluster_speed = 1.0)
+      : name(std::move(cluster_name)),
+        speed(cluster_speed),
+        calendar(procs) {
+    RESCHED_CHECK(cluster_speed > 0.0, "cluster speed must be positive");
+  }
+
+  int procs() const { return calendar.capacity(); }
+
+  /// Execution time of `cost` on `np` of this cluster's processors.
+  double exec_time(const dag::TaskCost& cost, int np) const {
+    return dag::exec_time(cost, np) / speed;
+  }
+};
+
+class MultiPlatform {
+ public:
+  explicit MultiPlatform(std::vector<Cluster> clusters)
+      : clusters_(std::move(clusters)) {
+    RESCHED_CHECK(!clusters_.empty(), "platform needs at least one cluster");
+  }
+
+  int num_clusters() const { return static_cast<int>(clusters_.size()); }
+  Cluster& cluster(int c) { return clusters_.at(static_cast<std::size_t>(c)); }
+  const Cluster& cluster(int c) const {
+    return clusters_.at(static_cast<std::size_t>(c));
+  }
+
+  /// Total processors across clusters.
+  int total_procs() const;
+  /// Largest single-cluster processor count (the upper bound on any one
+  /// task's allocation).
+  int max_cluster_procs() const;
+
+  /// Historical average availability, per cluster (see
+  /// resv::historical_average_available).
+  std::vector<int> historical_availability(double now, double window) const;
+
+ private:
+  std::vector<Cluster> clusters_;
+};
+
+}  // namespace resched::multi

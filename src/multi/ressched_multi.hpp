@@ -1,0 +1,54 @@
+// RESSCHED on multi-cluster platforms (extension of paper §7).
+//
+// The single-cluster algorithm carries over with one extra dimension: for
+// each task, in decreasing bottom-level order, pick the <cluster,
+// processor count, start> triple with the earliest completion among all
+// clusters' calendars.
+//
+//  * bottom levels — BL_CPAR generalized: CPA allocations computed for a
+//    "reference cluster" whose size is the largest per-cluster historical
+//    availability and whose speed is the fastest cluster's (cf. the
+//    reference-cluster device of the heterogeneous mixed-parallel
+//    literature [34]);
+//  * allocation bounds — the same CPA allocations, additionally capped per
+//    cluster by its size (BD_CPAR generalized).
+//
+// bench_ext_multicluster uses this to quantify the cost of fragmentation
+// (one big cluster vs the same processors split 2- and 4-ways) and the
+// pull of heterogeneity (a small fast cluster next to a large slow one).
+#pragma once
+
+#include "src/core/schedule.hpp"
+#include "src/cpa/cpa.hpp"
+#include "src/dag/dag.hpp"
+#include "src/multi/platform.hpp"
+
+namespace resched::multi {
+
+struct MultiParams {
+  cpa::Options cpa;
+  /// History window for the availability estimates [seconds].
+  double history_window = 7 * 86400.0;
+};
+
+struct MultiResult {
+  core::AppSchedule schedule;      ///< per-task reservations
+  std::vector<int> cluster_of;     ///< cluster index per task
+  double turnaround = 0.0;
+  /// Consumed processor-hours, speed-weighted (an hour on a speed-2
+  /// processor counts double — the work actually bought).
+  double cpu_hours = 0.0;
+};
+
+/// Schedules the application at `now`; does not modify `platform`.
+MultiResult schedule_ressched_multi(const dag::Dag& dag,
+                                    const MultiPlatform& platform, double now,
+                                    const MultiParams& params = {});
+
+/// Validity checker for multi-cluster schedules: per-cluster capacity,
+/// precedence, speed-adjusted durations. Returns std::nullopt when valid.
+std::optional<std::string> validate_multi_schedule(
+    const dag::Dag& dag, const MultiPlatform& platform,
+    const MultiResult& result, double now);
+
+}  // namespace resched::multi

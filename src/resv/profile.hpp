@@ -1,0 +1,86 @@
+// Processor availability profile over time (paper §3.2).
+//
+// The profile is an exact piecewise-constant step function: for a platform
+// of `capacity` processors and a set of reservations it answers, at any
+// time t, how many processors are free. The two scheduling primitives every
+// algorithm in the paper reduces to are:
+//
+//   * earliest_fit — the earliest start >= not_before at which `procs`
+//     processors stay free for `duration` seconds (RESSCHED, §4.2 phase 2);
+//   * latest_fit   — the latest such start finishing by `deadline`
+//     (RESSCHEDDL backward scheduling, §5.2).
+//
+// Both queries are exact scans over the O(R) breakpoints, not heuristics.
+// Over-subscribed instants (more reserved than capacity, possible when
+// synthetic transforms inject reservations) clamp to zero availability.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/resv/reservation.hpp"
+
+namespace resched::resv {
+
+class AvailabilityProfile {
+ public:
+  /// Empty profile: all `capacity` processors free forever.
+  explicit AvailabilityProfile(int capacity);
+
+  /// Profile with an initial set of competing reservations.
+  AvailabilityProfile(int capacity, std::span<const Reservation> reservations);
+
+  int capacity() const { return capacity_; }
+  /// Number of reservations added so far.
+  int reservation_count() const { return reservation_count_; }
+
+  /// Commits a reservation (subtracts it from availability). Reservations
+  /// may over-subscribe; availability is clamped at zero when queried.
+  void add(const Reservation& r);
+
+  /// Free processors at time t (clamped to [0, capacity]).
+  int available_at(double t) const;
+
+  /// Earliest start >= not_before with `procs` free for `duration` seconds.
+  /// Empty only when procs exceeds the capacity (every profile is eventually
+  /// all-free, so a fit always exists otherwise). duration must be > 0.
+  std::optional<double> earliest_fit(int procs, double duration,
+                                     double not_before) const;
+
+  /// Latest start such that start >= not_before and start + duration <=
+  /// deadline with `procs` free throughout; empty when no such window exists.
+  std::optional<double> latest_fit(int procs, double duration, double deadline,
+                                   double not_before) const;
+
+  /// Time-average of available processors over [from, to), from < to.
+  double average_available(double from, double to) const;
+
+  /// Minimum availability over [from, to).
+  int min_available(double from, double to) const;
+
+  /// Availability sampled every `step` seconds over [from, to) — used for
+  /// reservation-schedule correlation studies (paper §3.2.1).
+  std::vector<double> sample_available(double from, double to,
+                                       double step) const;
+
+  /// Breakpoints of the step function, ascending (exposed for tests).
+  std::vector<double> breakpoints() const;
+
+ private:
+  // steps_[t] = raw availability from time t until the next key. The map
+  // always holds a -infinity sentinel, so lookups never fall off the front.
+  std::map<double, int> steps_;
+  int capacity_;
+  int reservation_count_ = 0;
+};
+
+/// Historical average number of available processors q (paper §4.2,
+/// BL_CPAR / BD_CPAR): the time-average availability over the `window`
+/// seconds preceding `now`, rounded to the nearest integer and clamped to
+/// [1, capacity].
+int historical_average_available(const AvailabilityProfile& profile,
+                                 double now, double window);
+
+}  // namespace resched::resv

@@ -1,0 +1,63 @@
+#include "src/sim/gantt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/util/error.hpp"
+
+namespace resched::sim {
+
+std::string render_gantt(const core::AppSchedule& schedule,
+                         const resv::AvailabilityProfile& competing,
+                         double now, double horizon,
+                         const GanttOptions& opts) {
+  RESCHED_CHECK(horizon > now, "gantt horizon must lie after now");
+  RESCHED_CHECK(opts.columns >= 8, "gantt needs at least 8 columns");
+  const double span = horizon - now;
+  const double per_col = span / opts.columns;
+
+  std::ostringstream os;
+  os << "time axis: " << span / 3600.0 << " h across " << opts.columns
+     << " columns (one column = " << per_col / 60.0 << " min)\n";
+
+  auto col_of = [&](double t) {
+    return std::clamp(static_cast<int>((t - now) / per_col), 0,
+                      opts.columns - 1);
+  };
+
+  for (std::size_t v = 0; v < schedule.tasks.size(); ++v) {
+    const auto& t = schedule.tasks[v];
+    std::string bar(static_cast<std::size_t>(opts.columns), ' ');
+    if (t.finish > now && t.start < horizon) {
+      int from = col_of(t.start);
+      int to = col_of(std::min(t.finish, horizon) - 1e-9);
+      for (int c = from; c <= to; ++c)
+        bar[static_cast<std::size_t>(c)] = '=';
+      bar[static_cast<std::size_t>(from)] = '[';
+      if (to > from) bar[static_cast<std::size_t>(to)] = ']';
+    }
+    char label[32];
+    std::snprintf(label, sizeof label, "t%-3zu %4dp |", v, t.procs);
+    os << label << bar << "|\n";
+  }
+
+  if (opts.show_load) {
+    // Busy fraction per column: competing calendar plus the application.
+    resv::AvailabilityProfile full = competing;
+    for (const auto& t : schedule.tasks) full.add(t.as_reservation());
+    std::string strip(static_cast<std::size_t>(opts.columns), ' ');
+    for (int c = 0; c < opts.columns; ++c) {
+      double mid = now + (c + 0.5) * per_col;
+      double busy = 1.0 - static_cast<double>(full.available_at(mid)) /
+                              full.capacity();
+      strip[static_cast<std::size_t>(c)] =
+          busy <= 0.0 ? ' ' : busy < 1.0 / 3 ? '.' : busy < 2.0 / 3 ? ':'
+                                                                    : '#';
+    }
+    os << "load       |" << strip << "|\n";
+  }
+  return os.str();
+}
+
+}  // namespace resched::sim

@@ -1,0 +1,26 @@
+// ASCII Gantt rendering of application schedules against their calendar —
+// used by the examples and handy when debugging scheduler behaviour.
+#pragma once
+
+#include <string>
+
+#include "src/core/schedule.hpp"
+#include "src/resv/profile.hpp"
+
+namespace resched::sim {
+
+struct GanttOptions {
+  int columns = 72;       ///< time-axis width in characters
+  bool show_load = true;  ///< append a platform-utilization strip
+};
+
+/// Renders one row per task ("t<i> [procs]" + a bar over [start, finish))
+/// spanning [now, horizon). When show_load is set, adds a strip showing the
+/// fraction of the platform busy (competing reservations + the application)
+/// per column: ' ' free, '.' <1/3, ':' <2/3, '#' more.
+std::string render_gantt(const core::AppSchedule& schedule,
+                         const resv::AvailabilityProfile& competing,
+                         double now, double horizon,
+                         const GanttOptions& opts = {});
+
+}  // namespace resched::sim

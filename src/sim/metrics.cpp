@@ -1,0 +1,143 @@
+#include "src/sim/metrics.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "src/util/error.hpp"
+
+namespace resched::sim {
+
+DegradationAggregator::DegradationAggregator(int num_algos)
+    : deg_(static_cast<std::size_t>(num_algos)),
+      raw_(static_cast<std::size_t>(num_algos)),
+      failures_(static_cast<std::size_t>(num_algos), 0) {
+  RESCHED_CHECK(num_algos >= 1, "need at least one algorithm");
+}
+
+void DegradationAggregator::add_instance(std::span<const double> values) {
+  RESCHED_CHECK(values.size() == deg_.size(),
+                "metric vector size must match algorithm count");
+  double best = std::numeric_limits<double>::infinity();
+  for (double v : values)
+    if (!std::isnan(v)) best = std::min(best, v);
+  ++instances_;
+  if (!std::isfinite(best)) {
+    for (std::size_t a = 0; a < values.size(); ++a) ++failures_[a];
+    return;  // nobody produced a result for this instance
+  }
+  for (std::size_t a = 0; a < values.size(); ++a) {
+    if (std::isnan(values[a])) {
+      ++failures_[a];
+      continue;
+    }
+    raw_[a].add(values[a]);
+    double denom = best != 0.0 ? best : 1.0;
+    deg_[a].add(100.0 * (values[a] - best) / denom);
+  }
+}
+
+std::vector<double> DegradationAggregator::avg_degradation_pct() const {
+  std::vector<double> out(deg_.size());
+  for (std::size_t a = 0; a < deg_.size(); ++a)
+    out[a] = deg_[a].empty() ? std::numeric_limits<double>::quiet_NaN()
+                             : deg_[a].mean();
+  return out;
+}
+
+std::vector<double> DegradationAggregator::mean_metric() const {
+  std::vector<double> out(raw_.size());
+  for (std::size_t a = 0; a < raw_.size(); ++a)
+    out[a] = raw_[a].empty() ? std::numeric_limits<double>::quiet_NaN()
+                             : raw_[a].mean();
+  return out;
+}
+
+std::vector<int> DegradationAggregator::winners(double rel_tol) const {
+  auto means = mean_metric();
+  double best = std::numeric_limits<double>::infinity();
+  for (double m : means)
+    if (!std::isnan(m)) best = std::min(best, m);
+  std::vector<int> out;
+  if (!std::isfinite(best)) return out;
+  double tol = rel_tol * std::max(1.0, std::abs(best));
+  for (std::size_t a = 0; a < means.size(); ++a)
+    if (!std::isnan(means[a]) && means[a] <= best + tol)
+      out.push_back(static_cast<int>(a));
+  return out;
+}
+
+ComparisonTable::ComparisonTable(std::vector<std::string> algo_names,
+                                 std::vector<std::string> metric_names)
+    : algo_names_(std::move(algo_names)),
+      metric_names_(std::move(metric_names)) {
+  deg_.assign(metric_names_.size(),
+              std::vector<util::Accumulator>(algo_names_.size()));
+  wins_.assign(metric_names_.size(),
+               std::vector<int>(algo_names_.size(), 0));
+}
+
+void ComparisonTable::add_scenario(
+    std::span<const DegradationAggregator> per_metric) {
+  RESCHED_CHECK(per_metric.size() == metric_names_.size(),
+                "one aggregator per metric required");
+  for (std::size_t m = 0; m < per_metric.size(); ++m) {
+    RESCHED_CHECK(per_metric[m].num_algos() ==
+                      static_cast<int>(algo_names_.size()),
+                  "aggregator algorithm count mismatch");
+    auto deg = per_metric[m].avg_degradation_pct();
+    for (std::size_t a = 0; a < deg.size(); ++a)
+      if (!std::isnan(deg[a])) deg_[m][a].add(deg[a]);
+    for (int w : per_metric[m].winners()) wins_[m][static_cast<std::size_t>(w)]++;
+  }
+  ++scenarios_;
+}
+
+double ComparisonTable::avg_degradation_pct(int algo, int metric) const {
+  return deg_.at(static_cast<std::size_t>(metric))
+      .at(static_cast<std::size_t>(algo))
+      .mean();
+}
+
+int ComparisonTable::wins(int algo, int metric) const {
+  return wins_.at(static_cast<std::size_t>(metric))
+      .at(static_cast<std::size_t>(algo));
+}
+
+std::string ComparisonTable::to_string() const {
+  std::ostringstream os;
+  os << "Algorithm";
+  for (const auto& m : metric_names_)
+    os << " | " << m << ": avg deg [%], wins";
+  os << "\n";
+  for (std::size_t a = 0; a < algo_names_.size(); ++a) {
+    os << algo_names_[a];
+    for (std::size_t m = 0; m < metric_names_.size(); ++m) {
+      os << " | " << avg_degradation_pct(static_cast<int>(a),
+                                         static_cast<int>(m))
+         << ", " << wins(static_cast<int>(a), static_cast<int>(m));
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string ComparisonTable::to_csv() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "algorithm";
+  for (const auto& m : metric_names_)
+    os << ',' << m << "_deg_pct," << m << "_wins";
+  os << "\n";
+  for (std::size_t a = 0; a < algo_names_.size(); ++a) {
+    os << algo_names_[a];
+    for (std::size_t m = 0; m < metric_names_.size(); ++m)
+      os << ',' << avg_degradation_pct(static_cast<int>(a),
+                                       static_cast<int>(m))
+         << ',' << wins(static_cast<int>(a), static_cast<int>(m));
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace resched::sim

@@ -1,0 +1,86 @@
+// Degradation-from-best aggregation (paper §4.3.2).
+//
+// For each experimental scenario the paper reports, per algorithm and
+// metric (lower is better): the average over random instances of the
+// relative gap to the instance's best-performing algorithm, and the number
+// of scenarios in which the algorithm is best (ties share the win, which is
+// why the paper's win totals slightly exceed the scenario count).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/util/stats.hpp"
+
+namespace resched::sim {
+
+/// Collects one scenario's per-instance metric vectors for one metric.
+class DegradationAggregator {
+ public:
+  explicit DegradationAggregator(int num_algos);
+
+  /// Records one instance: values[a] is algorithm a's metric (lower is
+  /// better). NaN marks "no result" (e.g. deadline never met) and excludes
+  /// the algorithm from this instance's degradation statistics.
+  void add_instance(std::span<const double> values);
+
+  int num_algos() const { return static_cast<int>(deg_.size()); }
+  std::size_t instances() const { return instances_; }
+
+  /// Mean over instances of 100 * (value - best) / best, per algorithm.
+  std::vector<double> avg_degradation_pct() const;
+
+  /// Scenario-mean raw metric per algorithm (NaN-skipping).
+  std::vector<double> mean_metric() const;
+
+  /// Indices of algorithms whose scenario-mean metric ties the best within
+  /// relative tolerance.
+  std::vector<int> winners(double rel_tol = 1e-6) const;
+
+  /// Instances in which the algorithm had no result.
+  std::vector<std::size_t> failures() const { return failures_; }
+
+ private:
+  std::vector<util::Accumulator> deg_;
+  std::vector<util::Accumulator> raw_;
+  std::vector<std::size_t> failures_;
+  std::size_t instances_ = 0;
+};
+
+/// Cross-scenario summary table: average degradation and win counts, the
+/// layout of the paper's Tables 4-7.
+class ComparisonTable {
+ public:
+  ComparisonTable(std::vector<std::string> algo_names,
+                  std::vector<std::string> metric_names);
+
+  /// Folds in one scenario's aggregators, one per metric.
+  void add_scenario(std::span<const DegradationAggregator> per_metric);
+
+  const std::vector<std::string>& algos() const { return algo_names_; }
+  const std::vector<std::string>& metrics() const { return metric_names_; }
+  int scenarios() const { return scenarios_; }
+
+  /// Mean over scenarios of the per-scenario average degradation [%].
+  double avg_degradation_pct(int algo, int metric) const;
+  /// Number of scenarios won (ties count for every tied algorithm).
+  int wins(int algo, int metric) const;
+
+  /// Renders the table ("Algorithm | <metric>: avg deg %, wins | ...").
+  std::string to_string() const;
+
+  /// CSV rendering: algorithm,<metric>_deg_pct,<metric>_wins,... — one row
+  /// per algorithm, for downstream analysis of bench output.
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> algo_names_;
+  std::vector<std::string> metric_names_;
+  // indexed [metric][algo]
+  std::vector<std::vector<util::Accumulator>> deg_;
+  std::vector<std::vector<int>> wins_;
+  int scenarios_ = 0;
+};
+
+}  // namespace resched::sim

@@ -1,0 +1,19 @@
+// Parallel experiment execution.
+//
+// The evaluation grids multiply scenarios by random instances, and every
+// cell is independent, so the runner is a plain index-space parallel-for
+// over a fixed thread pool. Determinism is preserved by deriving all
+// randomness from the cell index (see util::derive_seed), never from thread
+// identity or scheduling order.
+#pragma once
+
+#include <functional>
+
+namespace resched::sim {
+
+/// Runs fn(0) ... fn(n-1) on up to `threads` worker threads (1 = inline).
+/// Each index runs exactly once; exceptions propagate (first one wins) after
+/// all workers drain.
+void parallel_for(int n, int threads, const std::function<void(int)>& fn);
+
+}  // namespace resched::sim

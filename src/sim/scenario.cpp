@@ -1,0 +1,195 @@
+#include "src/sim/scenario.hpp"
+
+#include <array>
+#include <mutex>
+#include <sstream>
+
+#include "src/util/error.hpp"
+#include "src/workload/synth.hpp"
+
+namespace resched::sim {
+
+namespace {
+constexpr double kDay = 86400.0;
+
+/// Seed namespace tags so DAG, tagging, and start-time streams never alias.
+enum SeedTag : std::uint64_t {
+  kTagDag = 1,
+  kTagResvStart = 2,
+  kTagResvTagging = 3,
+  kTagLog = 4,
+};
+
+std::uint64_t label_hash(const std::string& label) {
+  // FNV-1a; stable across platforms (std::hash is not).
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : label) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+const char* to_string(Platform platform) {
+  switch (platform) {
+    case Platform::kCtcSp2: return "CTC_SP2";
+    case Platform::kOscCluster: return "OSC_Cluster";
+    case Platform::kSdscBlue: return "SDSC_BLUE";
+    case Platform::kSdscDs: return "SDSC_DS";
+    case Platform::kGrid5000: return "Grid5000";
+  }
+  return "?";
+}
+
+std::vector<dag::DagSpec> table1_app_specs() {
+  std::vector<dag::DagSpec> specs;
+  const dag::DagSpec def;
+  for (int n : {10, 25, 50, 75, 100}) {
+    dag::DagSpec s = def;
+    s.num_tasks = n;
+    specs.push_back(s);
+  }
+  for (double a : {0.05, 0.10, 0.15, 0.20}) {
+    dag::DagSpec s = def;
+    s.alpha_max = a;
+    specs.push_back(s);
+  }
+  for (double w : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}) {
+    dag::DagSpec s = def;
+    s.width = w;
+    specs.push_back(s);
+  }
+  for (double d : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}) {
+    dag::DagSpec s = def;
+    s.density = d;
+    specs.push_back(s);
+  }
+  for (double r : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}) {
+    dag::DagSpec s = def;
+    s.regularity = r;
+    specs.push_back(s);
+  }
+  for (int j : {1, 2, 3, 4}) {
+    dag::DagSpec s = def;
+    s.jump = j;
+    specs.push_back(s);
+  }
+  return specs;
+}
+
+std::vector<std::string> table1_app_labels() {
+  std::vector<std::string> labels;
+  auto push = [&](const std::string& s) { labels.push_back(s); };
+  for (int n : {10, 25, 50, 75, 100}) push("n=" + std::to_string(n));
+  for (const char* a : {"0.05", "0.10", "0.15", "0.20"})
+    push(std::string("alpha=") + a);
+  for (int i = 1; i <= 9; ++i) push("width=0." + std::to_string(i));
+  for (int i = 1; i <= 9; ++i) push("density=0." + std::to_string(i));
+  for (int i = 1; i <= 9; ++i) push("regularity=0." + std::to_string(i));
+  for (int j : {1, 2, 3, 4}) push("jump=" + std::to_string(j));
+  return labels;
+}
+
+std::vector<ScenarioSpec> synthetic_grid(int max_apps) {
+  auto apps = table1_app_specs();
+  auto labels = table1_app_labels();
+  if (max_apps > 0 && max_apps < static_cast<int>(apps.size())) {
+    apps.resize(static_cast<std::size_t>(max_apps));
+    labels.resize(static_cast<std::size_t>(max_apps));
+  }
+  std::vector<ScenarioSpec> grid;
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    for (Platform platform : {Platform::kCtcSp2, Platform::kOscCluster,
+                              Platform::kSdscBlue, Platform::kSdscDs}) {
+      for (double phi : {0.1, 0.2, 0.5}) {
+        for (auto method : {workload::DecayMethod::kLinear,
+                            workload::DecayMethod::kExpo,
+                            workload::DecayMethod::kReal}) {
+          ScenarioSpec s;
+          s.app = apps[a];
+          s.platform = platform;
+          s.tagging.phi = phi;
+          s.tagging.method = method;
+          std::ostringstream label;
+          label << labels[a] << '/' << to_string(platform) << "/phi=" << phi
+                << '/' << workload::to_string(method);
+          s.label = label.str();
+          grid.push_back(std::move(s));
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+std::vector<ScenarioSpec> grid5000_scenarios(int max_apps) {
+  auto apps = table1_app_specs();
+  auto labels = table1_app_labels();
+  if (max_apps > 0 && max_apps < static_cast<int>(apps.size())) {
+    apps.resize(static_cast<std::size_t>(max_apps));
+    labels.resize(static_cast<std::size_t>(max_apps));
+  }
+  std::vector<ScenarioSpec> out;
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    ScenarioSpec s;
+    s.app = apps[a];
+    s.platform = Platform::kGrid5000;
+    s.label = labels[a] + "/Grid5000";
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+const workload::Log& platform_log(Platform platform) {
+  // Logs are deterministic (fixed seeds) and immutable after construction.
+  static std::array<workload::Log, 5> logs;
+  static std::array<std::once_flag, 5> flags;
+  auto idx = static_cast<std::size_t>(platform);
+  RESCHED_CHECK(idx < logs.size(), "unknown platform");
+  std::call_once(flags[idx], [idx] {
+    workload::SyntheticLogSpec spec;
+    switch (static_cast<Platform>(idx)) {
+      case Platform::kCtcSp2: spec = workload::ctc_sp2_spec(); break;
+      case Platform::kOscCluster: spec = workload::osc_cluster_spec(); break;
+      case Platform::kSdscBlue: spec = workload::sdsc_blue_spec(); break;
+      case Platform::kSdscDs: spec = workload::sdsc_ds_spec(); break;
+      case Platform::kGrid5000: spec = workload::grid5000_spec(); break;
+    }
+    util::Rng rng(util::derive_seed(0xC0FFEE, {kTagLog, idx}));
+    logs[idx] = workload::generate_log(spec, rng);
+  });
+  return logs[idx];
+}
+
+Instance make_instance(const ScenarioSpec& scenario, int dag_idx, int resv_idx,
+                       std::uint64_t base_seed) {
+  const std::uint64_t scen = label_hash(scenario.label) ^ base_seed;
+  const workload::Log& log = platform_log(scenario.platform);
+
+  util::Rng dag_rng(util::derive_seed(
+      scen, {kTagDag, static_cast<std::uint64_t>(dag_idx)}));
+  dag::Dag app = dag::generate(scenario.app, dag_rng);
+
+  util::Rng start_rng(util::derive_seed(
+      scen, {kTagResvStart, static_cast<std::uint64_t>(resv_idx)}));
+  // Stay a history window from the front and a horizon + slack from the
+  // back so every instance sees a full-width calendar.
+  double margin = scenario.tagging.history + scenario.tagging.horizon;
+  double now = workload::random_schedule_time(log, margin, start_rng);
+
+  util::Rng tag_rng(util::derive_seed(
+      scen, {kTagResvTagging, static_cast<std::uint64_t>(resv_idx)}));
+  resv::ReservationList reservations =
+      scenario.platform == Platform::kGrid5000
+          ? workload::extract_reservations(log, now, scenario.tagging.history)
+          : workload::make_reservation_schedule(log, now, scenario.tagging,
+                                                tag_rng);
+
+  resv::AvailabilityProfile profile(log.cpus, reservations);
+  int q_hist = resv::historical_average_available(profile, now, 7 * kDay);
+  return Instance{std::move(app), std::move(profile), now, q_hist};
+}
+
+}  // namespace resched::sim

@@ -1,0 +1,71 @@
+// Experimental scenario grids and random instance construction
+// (paper §4.3.1 methodology).
+//
+// A scenario fixes an application specification (Table 1 row), a platform
+// log, and a reservation-schedule specification (phi + decay method); an
+// instance samples one DAG and one reservation schedule (start time +
+// tagging) from it. The paper's synthetic grid is 40 application specs x 4
+// logs x 3 phi x 3 methods = 1,440 scenarios with 20 x 50 instances each;
+// the same generators expose smaller slices for laptop-scale runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/dag/daggen.hpp"
+#include "src/resv/profile.hpp"
+#include "src/workload/log.hpp"
+#include "src/workload/tagging.hpp"
+
+namespace resched::sim {
+
+/// Platform identifiers: indexes into workload::table2_specs(), plus the
+/// Grid'5000-style reservation log.
+enum class Platform { kCtcSp2 = 0, kOscCluster, kSdscBlue, kSdscDs, kGrid5000 };
+
+const char* to_string(Platform platform);
+
+/// One experimental scenario.
+struct ScenarioSpec {
+  std::string label;
+  dag::DagSpec app;
+  Platform platform = Platform::kSdscBlue;
+  workload::TaggingSpec tagging;  ///< ignored for Platform::kGrid5000
+};
+
+/// The 40 application specifications of §4.3.1: each Table 1 parameter
+/// swept over its value list with the others at their boldface defaults
+/// (5 + 4 + 9 + 9 + 9 + 4 = 40).
+std::vector<dag::DagSpec> table1_app_specs();
+
+/// Labels matching table1_app_specs() ("n=10", "alpha=0.05", ...).
+std::vector<std::string> table1_app_labels();
+
+/// Full synthetic scenario grid: apps x 4 logs x phi in {.1,.2,.5} x
+/// {linear, expo, real}. `max_apps` truncates the application sweep
+/// (0 = all 40) to keep bench defaults tractable.
+std::vector<ScenarioSpec> synthetic_grid(int max_apps = 0);
+
+/// Grid'5000 arm: one scenario per application spec on the reservation log.
+std::vector<ScenarioSpec> grid5000_scenarios(int max_apps = 0);
+
+/// The per-platform logs are deterministic and expensive to build, so they
+/// are generated once per process and shared (thread-safe).
+const workload::Log& platform_log(Platform platform);
+
+/// One fully-materialized problem instance.
+struct Instance {
+  dag::Dag dag;
+  resv::AvailabilityProfile profile;  ///< capacity + competing reservations
+  double now = 0.0;                   ///< scheduling instant
+  int q_hist = 0;                     ///< historical average availability
+};
+
+/// Materializes instance (dag_idx, resv_idx) of a scenario. Deterministic:
+/// the same (scenario label, indices, base_seed) always yields the same
+/// instance regardless of threading.
+Instance make_instance(const ScenarioSpec& scenario, int dag_idx, int resv_idx,
+                       std::uint64_t base_seed);
+
+}  // namespace resched::sim

@@ -1,0 +1,52 @@
+#include "src/sim/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "src/util/error.hpp"
+
+namespace resched::sim {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  RESCHED_CHECK(cells.size() == headers_.size(),
+                "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::left
+         << std::setw(static_cast<int>(width[c])) << cells[c];
+    }
+    os << "\n";
+  };
+  line(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < width.size(); ++c)
+    rule += std::string(width[c], '-') + (c + 1 < width.size() ? "  " : "");
+  os << rule << "\n";
+  for (const auto& row : rows_) line(row);
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  if (std::isnan(v)) return "n/a";
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+}  // namespace resched::sim

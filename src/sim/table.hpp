@@ -1,0 +1,26 @@
+// Fixed-width text table rendering for the bench harnesses.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace resched::sim {
+
+/// Minimal aligned text table: header row + data rows, columns padded to
+/// the widest cell.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision.
+std::string fmt(double v, int precision = 2);
+
+}  // namespace resched::sim

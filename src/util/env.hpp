@@ -1,0 +1,28 @@
+// Small helpers for reading harness configuration from the environment.
+//
+// Benchmarks honour RESCHED_SCALE (instance-count multiplier) and
+// RESCHED_THREADS (experiment-runner thread count) so the paper-scale grids
+// are reachable without recompiling.
+#pragma once
+
+#include <string>
+
+namespace resched::util {
+
+/// Returns the environment variable `name` parsed as double, or `fallback`
+/// when unset or unparsable.
+double env_double(const std::string& name, double fallback);
+
+/// Returns the environment variable `name` parsed as int, or `fallback`
+/// when unset or unparsable.
+int env_int(const std::string& name, int fallback);
+
+/// Global instance-count multiplier for benches (RESCHED_SCALE, default 1.0,
+/// clamped to be >= 0.01).
+double bench_scale();
+
+/// Thread count for the experiment runner (RESCHED_THREADS, default:
+/// hardware concurrency).
+int bench_threads();
+
+}  // namespace resched::util

@@ -1,0 +1,47 @@
+// Error handling for the resched library.
+//
+// Invariant violations throw resched::Error; RESCHED_CHECK is used at public
+// API boundaries (argument validation) and RESCHED_ASSERT for internal
+// invariants that indicate a library bug.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace resched {
+
+/// Exception thrown on precondition or invariant violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* kind, const char* expr,
+                              const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace resched
+
+/// Validates a caller-supplied precondition; throws resched::Error on failure.
+#define RESCHED_CHECK(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::resched::detail::fail("precondition", #cond, __FILE__, __LINE__,    \
+                              (msg));                                       \
+  } while (0)
+
+/// Validates an internal invariant; a failure indicates a bug in resched.
+#define RESCHED_ASSERT(cond, msg)                                           \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::resched::detail::fail("invariant", #cond, __FILE__, __LINE__,       \
+                              (msg));                                       \
+  } while (0)

@@ -1,0 +1,101 @@
+#include "src/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace resched::util {
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan et al. parallel variance combination.
+  double delta = other.mean_ - mean_;
+  std::size_t n = n_ + other.n_;
+  double na = static_cast<double>(n_), nb = static_cast<double>(other.n_);
+  mean_ += delta * nb / static_cast<double>(n);
+  m2_ += other.m2_ + delta * delta * na * nb / static_cast<double>(n);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ = n;
+}
+
+double Accumulator::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double Accumulator::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Accumulator::cv() const {
+  double m = mean();
+  return m == 0.0 ? 0.0 : stddev() / m;
+}
+
+double Accumulator::min() const {
+  RESCHED_CHECK(n_ > 0, "min() of empty accumulator");
+  return min_;
+}
+
+double Accumulator::max() const {
+  RESCHED_CHECK(n_ > 0, "max() of empty accumulator");
+  return max_;
+}
+
+double mean(std::span<const double> xs) {
+  Accumulator acc;
+  for (double x : xs) acc.add(x);
+  return acc.mean();
+}
+
+double stddev(std::span<const double> xs) {
+  Accumulator acc;
+  for (double x : xs) acc.add(x);
+  return acc.stddev();
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.empty()) return 0.0;
+  Accumulator ax, ay;
+  for (double x : xs) ax.add(x);
+  for (double y : ys) ay.add(y);
+  double sx = ax.stddev(), sy = ay.stddev();
+  if (sx == 0.0 || sy == 0.0) return 0.0;
+  double cov = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    cov += (xs[i] - ax.mean()) * (ys[i] - ay.mean());
+  cov /= static_cast<double>(xs.size() - 1);
+  return cov / (sx * sy);
+}
+
+double percentile(std::span<const double> xs, double q) {
+  RESCHED_CHECK(!xs.empty(), "percentile of empty span");
+  RESCHED_CHECK(q >= 0.0 && q <= 1.0, "percentile q must be in [0,1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  double pos = q * static_cast<double>(sorted.size() - 1);
+  auto lo = static_cast<std::size_t>(pos);
+  std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace resched::util

@@ -1,0 +1,49 @@
+// Streaming and batch descriptive statistics used by the experiment
+// framework (degradation-from-best aggregation, Table 3 log metrics,
+// reservation-schedule correlations).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace resched::util {
+
+/// Numerically stable (Welford) accumulator for mean / variance / extrema.
+class Accumulator {
+ public:
+  void add(double x);
+  void merge(const Accumulator& other);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  /// Coefficient of variation (stddev / mean); 0 when mean is 0.
+  double cv() const;
+  double min() const;
+  double max() const;
+  double sum() const { return mean() * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+double mean(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+
+/// Pearson correlation coefficient; 0 if either series is constant or the
+/// series lengths differ / are empty.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// q-th percentile (q in [0,1]) with linear interpolation; requires
+/// non-empty input. Input is copied, not modified.
+double percentile(std::span<const double> xs, double q);
+
+}  // namespace resched::util

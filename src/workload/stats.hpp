@@ -1,0 +1,38 @@
+// Log summary statistics (paper Table 3) and reservation-schedule
+// correlation (paper §3.2.1 validation study).
+#pragma once
+
+#include "src/resv/reservation.hpp"
+#include "src/util/rng.hpp"
+#include "src/workload/log.hpp"
+
+namespace resched::workload {
+
+/// Table 3 row: averages and coefficients of variation of job execution
+/// time and submit-to-start latency ("time to exec"), in hours / percent.
+struct LogStats {
+  std::string name;
+  double avg_exec_hours = 0.0;
+  double cv_exec_pct = 0.0;
+  double avg_wait_hours = 0.0;
+  double cv_wait_pct = 0.0;
+  std::size_t job_count = 0;
+};
+
+/// Computes Table 3 metrics for a log. The paper reports CVs of *per-sample
+/// averages* (its CV values are a few percent); we follow that convention:
+/// jobs are split into `num_batches` consecutive batches, and the CV is
+/// taken over the batch means.
+LogStats compute_log_stats(const Log& log, int num_batches = 50);
+
+/// Pearson correlation between the number of reserved processors over time
+/// in two reservation schedules, sampled on a shared grid of `samples`
+/// points spanning [now, now + horizon) (paper §3.2.1 correlation study).
+double reservation_schedule_correlation(const resv::ReservationList& a,
+                                        double now_a,
+                                        const resv::ReservationList& b,
+                                        double now_b, double horizon,
+                                        int capacity_a, int capacity_b,
+                                        int samples = 336);
+
+}  // namespace resched::workload

@@ -1,0 +1,113 @@
+#include "src/workload/swf.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/util/error.hpp"
+
+namespace resched::workload {
+
+namespace {
+
+/// Parses one numeric token; SWF uses -1 for "unknown".
+double parse_field(const std::string& tok, const std::string& context) {
+  try {
+    std::size_t pos = 0;
+    double v = std::stod(tok, &pos);
+    RESCHED_CHECK(pos == tok.size(), "trailing characters in SWF field");
+    return v;
+  } catch (const std::exception&) {
+    throw Error("malformed SWF field '" + tok + "' in " + context);
+  }
+}
+
+/// Extracts "MaxProcs: N" style header values (case-insensitive key match).
+int header_int(const std::string& line, const char* key) {
+  auto pos = line.find(key);
+  if (pos == std::string::npos) return 0;
+  pos = line.find(':', pos);
+  if (pos == std::string::npos) return 0;
+  return std::atoi(line.c_str() + pos + 1);
+}
+
+}  // namespace
+
+Log read_swf(std::istream& in, const std::string& name,
+             const SwfReadOptions& opts) {
+  Log log;
+  log.name = name;
+  int header_cpus = 0;
+  double max_end = 0.0;
+  int max_alloc = 0;
+
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (line[0] == ';') {
+      if (int v = header_int(line, "MaxProcs"); v > 0) header_cpus = v;
+      else if (int w = header_int(line, "MaxNodes"); w > 0 && header_cpus == 0)
+        header_cpus = w;
+      continue;
+    }
+    std::istringstream fields(line);
+    std::vector<std::string> toks;
+    std::string tok;
+    while (fields >> tok) toks.push_back(tok);
+    if (toks.empty()) continue;
+    RESCHED_CHECK(toks.size() >= 5,
+                  "SWF line " + std::to_string(lineno) + " has too few fields");
+
+    std::string ctx = name + ":" + std::to_string(lineno);
+    // Field layout: 1 job id, 2 submit, 3 wait, 4 runtime, 5 allocated procs.
+    double submit = parse_field(toks[1], ctx);
+    double wait = parse_field(toks[2], ctx);
+    double runtime = parse_field(toks[3], ctx);
+    int procs = static_cast<int>(parse_field(toks[4], ctx));
+
+    if (opts.skip_invalid && (runtime <= 0.0 || procs <= 0 || submit < 0.0))
+      continue;
+    Job job;
+    job.submit = submit;
+    job.start = submit + std::max(0.0, wait);
+    job.runtime = runtime;
+    job.procs = procs;
+    log.jobs.push_back(job);
+    max_end = std::max(max_end, job.end());
+    max_alloc = std::max(max_alloc, procs);
+  }
+
+  log.cpus = opts.cpus_override > 0  ? opts.cpus_override
+             : header_cpus > 0       ? header_cpus
+                                     : std::max(1, max_alloc);
+  log.duration = max_end;
+  std::sort(log.jobs.begin(), log.jobs.end(),
+            [](const Job& a, const Job& b) { return a.submit < b.submit; });
+  return log;
+}
+
+Log read_swf_file(const std::string& path, const SwfReadOptions& opts) {
+  std::ifstream in(path);
+  RESCHED_CHECK(in.good(), "cannot open SWF file: " + path);
+  return read_swf(in, path, opts);
+}
+
+void write_swf(std::ostream& out, const Log& log) {
+  out << "; SWF written by resched\n";
+  out << "; MaxProcs: " << log.cpus << "\n";
+  // Times are seconds as doubles; default stream precision (6 significant
+  // digits) would truncate multi-month timestamps.
+  out.precision(15);
+  int id = 1;
+  for (const Job& j : log.jobs) {
+    out << id++ << ' ' << j.submit << ' ' << j.wait() << ' ' << j.runtime
+        << ' ' << j.procs << " -1 -1 " << j.procs
+        << " -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n";
+  }
+}
+
+}  // namespace resched::workload

@@ -1,0 +1,39 @@
+// Standard Workload Format (SWF) reader / writer.
+//
+// The paper consumes four logs from the Parallel Workloads Archive, which
+// are distributed in SWF: one job per line with 18 whitespace-separated
+// fields, `;`-prefixed header comments, and -1 marking unknown values.
+// This module parses the subset of fields the simulator needs (submit time,
+// wait time, run time, allocated processors) into workload::Log and can
+// write a Log back out as valid SWF, so real archive logs drop in wherever
+// the synthetic generators are used.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/workload/log.hpp"
+
+namespace resched::workload {
+
+/// Options controlling SWF parsing.
+struct SwfReadOptions {
+  /// Jobs with unknown (-1) or zero runtime / processor counts are skipped
+  /// when true (they cannot become reservations).
+  bool skip_invalid = true;
+  /// Platform size override; 0 means "use MaxProcs/MaxNodes from the header,
+  /// or the max observed allocation if the header lacks it".
+  int cpus_override = 0;
+};
+
+/// Parses an SWF stream. Throws resched::Error on malformed numeric fields.
+Log read_swf(std::istream& in, const std::string& name,
+             const SwfReadOptions& opts = {});
+
+/// Convenience overload reading from a file path.
+Log read_swf_file(const std::string& path, const SwfReadOptions& opts = {});
+
+/// Writes the log as SWF (fields the simulator does not track are -1).
+void write_swf(std::ostream& out, const Log& log);
+
+}  // namespace resched::workload

@@ -1,0 +1,57 @@
+// Synthetic batch-log generation (substitute for the Parallel Workloads
+// Archive logs of Table 2 and the Grid'5000 reservation log of §3.2.1).
+//
+// The paper consumes real logs only through (a) reservation schedules built
+// by tagging a fraction of the jobs and (b) the Table 3 summary statistics.
+// Each SyntheticLogSpec therefore pins the quantities those two paths
+// depend on: platform size, log duration, average utilization, mean job
+// runtime, runtime variability, and mean queue wait ("time to exec").
+//
+//  * arrivals  — Poisson process whose rate is solved from the target
+//    utilization: rate = util * cpus / E[procs * runtime];
+//  * runtimes  — lognormal with the requested mean and CV;
+//  * sizes     — log2-biased (powers of two dominate real logs): procs =
+//    round(2^U(0, log2(max_frac * cpus)));
+//  * waits     — exponential with the requested mean, independent of load
+//    (the simulator never replays queue dynamics, only start times).
+#pragma once
+
+#include <array>
+
+#include "src/util/rng.hpp"
+#include "src/workload/log.hpp"
+
+namespace resched::workload {
+
+struct SyntheticLogSpec {
+  std::string name;
+  int cpus = 128;
+  double duration_days = 330.0;
+  double target_utilization = 0.65;  ///< fraction of capacity
+  double mean_runtime_hours = 3.2;   ///< Table 3 "Avg. job exec. time"
+  double runtime_cv = 1.8;           ///< realistic heavy-tailed spread
+  double mean_wait_hours = 7.5;      ///< Table 3 "Avg. time to exec."
+  double max_job_fraction = 0.5;     ///< largest job vs platform size
+  /// Daily arrival-rate modulation in [0, 1): 0 = stationary Poisson;
+  /// 0.6 means the rate swings +/-60% around its mean over each day, the
+  /// day/night pattern every production log exhibits. Implemented by
+  /// thinning, so the target utilization is preserved.
+  double diurnal_amplitude = 0.5;
+};
+
+/// The four batch logs of Table 2, calibrated to the published platform
+/// size / duration / utilization and the Table 3 runtime & wait means.
+SyntheticLogSpec ctc_sp2_spec();
+SyntheticLogSpec osc_cluster_spec();
+SyntheticLogSpec sdsc_blue_spec();
+SyntheticLogSpec sdsc_ds_spec();
+std::array<SyntheticLogSpec, 4> table2_specs();
+
+/// Grid'5000-style *reservation* log (§3.2.1): every job is an advance
+/// reservation; runtime/wait match the Grid'5000 row of Table 3.
+SyntheticLogSpec grid5000_spec();
+
+/// Generates one log instance. Deterministic given rng state.
+Log generate_log(const SyntheticLogSpec& spec, util::Rng& rng);
+
+}  // namespace resched::workload

@@ -1,0 +1,238 @@
+// Unit and property tests for the CPA algorithm (paper §4.2): allocation
+// phase invariants, the original vs improved stopping criterion, the
+// mapping phase (list scheduling), and sub-DAG guideline schedules.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "src/cpa/cpa.hpp"
+#include "src/dag/daggen.hpp"
+#include "src/util/error.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace resched;
+using dag::Dag;
+using dag::TaskCost;
+
+Dag chain(int n, double seq = 3600.0, double alpha = 0.1) {
+  std::vector<TaskCost> costs(static_cast<std::size_t>(n),
+                              TaskCost{seq, alpha});
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return Dag(std::move(costs), edges);
+}
+
+/// Fork-join: entry -> w parallel tasks -> exit.
+Dag fork_join(int w, double seq = 3600.0, double alpha = 0.1) {
+  std::vector<TaskCost> costs(static_cast<std::size_t>(w + 2),
+                              TaskCost{seq, alpha});
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 1; i <= w; ++i) {
+    edges.emplace_back(0, i);
+    edges.emplace_back(i, w + 1);
+  }
+  return Dag(std::move(costs), edges);
+}
+
+TEST(CpaAllocations, WithinBounds) {
+  util::Rng rng(3);
+  dag::Dag d = dag::generate(dag::DagSpec{}, rng);
+  for (int q : {1, 4, 32, 128}) {
+    for (auto crit : {cpa::Criterion::kOriginal, cpa::Criterion::kImproved}) {
+      auto alloc = cpa::allocations(d, q, {crit});
+      ASSERT_EQ(static_cast<int>(alloc.size()), d.size());
+      for (int a : alloc) {
+        EXPECT_GE(a, 1);
+        EXPECT_LE(a, q);
+      }
+    }
+  }
+}
+
+TEST(CpaAllocations, SingleProcessorPlatformStaysAtOne) {
+  util::Rng rng(4);
+  dag::Dag d = dag::generate(dag::DagSpec{}, rng);
+  auto alloc = cpa::allocations(d, 1);
+  for (int a : alloc) EXPECT_EQ(a, 1);
+}
+
+TEST(CpaAllocations, ChainGrowsLargeAllocations) {
+  Dag d = chain(5);
+  auto alloc = cpa::allocations(d, 64, {cpa::Criterion::kImproved});
+  // A chain has no task parallelism: every task is alone in its level, so
+  // the improved criterion lets allocations grow like the original.
+  for (int a : alloc) EXPECT_GT(a, 4);
+}
+
+TEST(CpaAllocations, ImprovedCriterionCapsWideLevels) {
+  Dag d = fork_join(16);
+  const int q = 64;
+  auto improved = cpa::allocations(d, q, {cpa::Criterion::kImproved});
+  // The 16 parallel tasks may take at most ceil(64/16) = 4 processors each.
+  for (int i = 1; i <= 16; ++i) EXPECT_LE(improved[static_cast<std::size_t>(i)], 4);
+  // Entry/exit are alone in their level: up to q.
+  EXPECT_LE(improved[0], q);
+}
+
+TEST(CpaAllocations, ImprovedNeverExceedsOriginal) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    dag::Dag d = dag::generate(dag::DagSpec{}, rng);
+    auto orig = cpa::allocations(d, 64, {cpa::Criterion::kOriginal});
+    auto impr = cpa::allocations(d, 64, {cpa::Criterion::kImproved});
+    double area_orig = 0.0, area_impr = 0.0;
+    for (int v = 0; v < d.size(); ++v) {
+      area_orig += dag::work(d.cost(v), orig[static_cast<std::size_t>(v)]);
+      area_impr += dag::work(d.cost(v), impr[static_cast<std::size_t>(v)]);
+    }
+    // The improved criterion only removes growth options, so it cannot
+    // consume more total area.
+    EXPECT_LE(area_impr, area_orig + 1e-6);
+  }
+}
+
+TEST(CpaAllocations, GrowthReducesCriticalPath) {
+  util::Rng rng(6);
+  dag::Dag d = dag::generate(dag::DagSpec{}, rng);
+  std::vector<int> ones(static_cast<std::size_t>(d.size()), 1);
+  auto alloc = cpa::allocations(d, 32);
+  EXPECT_LE(dag::critical_path_length(d, alloc),
+            dag::critical_path_length(d, ones));
+}
+
+TEST(CpaAllocations, ValidatesArguments) {
+  Dag d = chain(3);
+  EXPECT_THROW(cpa::allocations(d, 0), resched::Error);
+}
+
+TEST(ListSchedule, RespectsPrecedenceAndCapacity) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 5; ++trial) {
+    dag::Dag d = dag::generate(dag::DagSpec{}, rng);
+    const int q = 24;
+    auto alloc = cpa::allocations(d, q);
+    auto bl = dag::bottom_levels(d, alloc);
+    auto order = dag::order_by_decreasing(d, bl);
+    auto placed = cpa::list_schedule(d, alloc, q, 100.0, order);
+
+    // Precedence.
+    for (int v = 0; v < d.size(); ++v) {
+      EXPECT_GE(placed[static_cast<std::size_t>(v)].start, 100.0);
+      for (int s : d.successors(v))
+        EXPECT_GE(placed[static_cast<std::size_t>(s)].start,
+                  placed[static_cast<std::size_t>(v)].finish - 1e-9);
+    }
+    // Durations match the model.
+    for (int v = 0; v < d.size(); ++v) {
+      const auto& pl = placed[static_cast<std::size_t>(v)];
+      EXPECT_NEAR(pl.finish - pl.start,
+                  dag::exec_time(d.cost(v), alloc[static_cast<std::size_t>(v)]),
+                  1e-9);
+    }
+    // Capacity: total allocation never exceeds q at any start event.
+    for (int v = 0; v < d.size(); ++v) {
+      double t = placed[static_cast<std::size_t>(v)].start;
+      int busy = 0;
+      for (int u = 0; u < d.size(); ++u) {
+        const auto& pu = placed[static_cast<std::size_t>(u)];
+        if (pu.start <= t + 1e-9 && t < pu.finish - 1e-9)
+          busy += alloc[static_cast<std::size_t>(u)];
+      }
+      EXPECT_LE(busy, q);
+    }
+  }
+}
+
+TEST(ListSchedule, SerialWhenAllocationsFillMachine) {
+  Dag d = fork_join(3, 3600.0, 0.0);
+  const int q = 8;
+  std::vector<int> alloc(5, q);  // every task takes the whole machine
+  auto bl = dag::bottom_levels(d, alloc);
+  auto order = dag::order_by_decreasing(d, bl);
+  auto placed = cpa::list_schedule(d, alloc, q, 0.0, order);
+  // 5 tasks, each 3600/8 = 450s, strictly serialized.
+  EXPECT_NEAR(cpa::makespan(placed, 0.0), 5 * 450.0, 1e-9);
+}
+
+TEST(ListSchedule, ParallelTasksOverlapWhenTheyFit) {
+  Dag d = fork_join(3, 3600.0, 0.0);
+  const int q = 6;
+  std::vector<int> alloc(5, 2);  // three 2-proc tasks fit side by side
+  auto bl = dag::bottom_levels(d, alloc);
+  auto order = dag::order_by_decreasing(d, bl);
+  auto placed = cpa::list_schedule(d, alloc, q, 0.0, order);
+  // entry 1800 + parallel middle 1800 + exit 1800.
+  EXPECT_NEAR(cpa::makespan(placed, 0.0), 3 * 1800.0, 1e-9);
+}
+
+TEST(ListSchedule, ValidatesInputs) {
+  Dag d = chain(3);
+  std::vector<int> alloc(3, 2);
+  std::vector<int> order{0, 1, 2};
+  EXPECT_THROW(cpa::list_schedule(d, alloc, 1, 0.0, order), resched::Error);
+  std::vector<int> bad_order{2, 1, 0};  // successors before predecessors
+  EXPECT_THROW(cpa::list_schedule(d, alloc, 4, 0.0, bad_order),
+               resched::Error);
+}
+
+TEST(CpaSchedule, MakespanAndCpuHoursConsistent) {
+  util::Rng rng(8);
+  dag::Dag d = dag::generate(dag::DagSpec{}, rng);
+  auto sched = cpa::schedule(d, 32, 50.0);
+  double max_finish = 0.0, hours = 0.0;
+  for (int v = 0; v < d.size(); ++v) {
+    const auto& pl = sched.placements[static_cast<std::size_t>(v)];
+    max_finish = std::max(max_finish, pl.finish);
+    hours += dag::work(d.cost(v), sched.alloc[static_cast<std::size_t>(v)]) /
+             3600.0;
+  }
+  EXPECT_NEAR(sched.makespan, max_finish - 50.0, 1e-9);
+  EXPECT_NEAR(sched.cpu_hours, hours, 1e-9);
+}
+
+TEST(CpaSchedule, MoreProcessorsNeverHurtMuch) {
+  // Not a strict theorem for list scheduling, but CPA on a bigger machine
+  // should never be drastically worse; check a generous monotonicity band.
+  util::Rng rng(9);
+  dag::Dag d = dag::generate(dag::DagSpec{}, rng);
+  double m8 = cpa::schedule(d, 8, 0.0).makespan;
+  double m64 = cpa::schedule(d, 64, 0.0).makespan;
+  EXPECT_LT(m64, 1.5 * m8);
+}
+
+TEST(SubdagGuideline, FullMaskMatchesFullSchedule) {
+  util::Rng rng(10);
+  dag::Dag d = dag::generate(dag::DagSpec{}, rng);
+  std::vector<bool> keep(static_cast<std::size_t>(d.size()), true);
+  auto guide = cpa::subdag_guideline(d, keep, 32);
+  auto sched = cpa::schedule(d, 32, 0.0);
+  EXPECT_NEAR(guide.makespan, sched.makespan, 1e-9);
+  for (int v = 0; v < d.size(); ++v)
+    EXPECT_NEAR(guide.start[static_cast<std::size_t>(v)],
+                sched.placements[static_cast<std::size_t>(v)].start, 1e-9);
+}
+
+TEST(SubdagGuideline, DroppedTasksAreMarked) {
+  Dag d = chain(4);
+  std::vector<bool> keep{false, false, true, true};
+  auto guide = cpa::subdag_guideline(d, keep, 8);
+  EXPECT_EQ(guide.start[0], -1.0);
+  EXPECT_EQ(guide.start[1], -1.0);
+  EXPECT_GE(guide.start[2], 0.0);
+  EXPECT_GT(guide.start[3], guide.start[2]);
+  EXPECT_GT(guide.makespan, 0.0);
+}
+
+TEST(SubdagGuideline, ShrinksAsTasksAreRemoved) {
+  Dag d = chain(6);
+  std::vector<bool> keep(6, true);
+  auto full = cpa::subdag_guideline(d, keep, 8);
+  keep[5] = false;
+  auto partial = cpa::subdag_guideline(d, keep, 8);
+  EXPECT_LT(partial.makespan, full.makespan);
+}
+
+}  // namespace

@@ -1,0 +1,214 @@
+// Unit tests for src/dag: DAG construction and validation, topological
+// order, levels, top/bottom levels, critical path extraction, priority
+// ordering, and induced sub-DAGs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "src/dag/dag.hpp"
+#include "src/dag/daggen.hpp"
+#include "src/dag/dot.hpp"
+#include "src/util/error.hpp"
+
+namespace {
+
+using namespace resched;
+using dag::Dag;
+using dag::TaskCost;
+
+/// Diamond: 0 -> {1, 2} -> 3, unit alpha-free costs unless overridden.
+Dag diamond(std::vector<double> seq = {1, 2, 3, 4}) {
+  std::vector<TaskCost> costs;
+  for (double t : seq) costs.push_back({t, 0.0});
+  std::vector<std::pair<int, int>> edges{{0, 1}, {0, 2}, {1, 3}, {2, 3}};
+  return Dag(std::move(costs), edges);
+}
+
+TEST(Dag, BasicAccessors) {
+  Dag d = diamond();
+  EXPECT_EQ(d.size(), 4);
+  EXPECT_EQ(d.num_edges(), 4);
+  EXPECT_TRUE(d.has_single_entry_exit());
+  EXPECT_EQ(d.entries(), std::vector<int>{0});
+  EXPECT_EQ(d.exits(), std::vector<int>{3});
+  EXPECT_EQ(d.predecessors(3).size(), 2u);
+  EXPECT_EQ(d.successors(0).size(), 2u);
+  EXPECT_DOUBLE_EQ(d.cost(2).seq_time, 3.0);
+}
+
+TEST(Dag, TopologicalOrderRespectsEdges) {
+  Dag d = diamond();
+  const auto& topo = d.topological_order();
+  std::vector<int> pos(4);
+  for (int i = 0; i < 4; ++i) pos[topo[i]] = i;
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[0], pos[2]);
+  EXPECT_LT(pos[1], pos[3]);
+  EXPECT_LT(pos[2], pos[3]);
+}
+
+TEST(Dag, LevelsAndWidth) {
+  Dag d = diamond();
+  EXPECT_EQ(d.levels(), (std::vector<int>{0, 1, 1, 2}));
+  EXPECT_EQ(d.num_levels(), 3);
+  EXPECT_EQ(d.max_width(), 2);
+}
+
+TEST(Dag, RejectsCycle) {
+  std::vector<TaskCost> costs(3, TaskCost{1.0, 0.0});
+  std::vector<std::pair<int, int>> edges{{0, 1}, {1, 2}, {2, 0}};
+  EXPECT_THROW(Dag(costs, edges), resched::Error);
+}
+
+TEST(Dag, RejectsSelfLoopDuplicateAndRangeErrors) {
+  std::vector<TaskCost> costs(2, TaskCost{1.0, 0.0});
+  EXPECT_THROW(Dag(costs, std::vector<std::pair<int, int>>{{0, 0}}),
+               resched::Error);
+  EXPECT_THROW(Dag(costs, std::vector<std::pair<int, int>>{{0, 1}, {0, 1}}),
+               resched::Error);
+  EXPECT_THROW(Dag(costs, std::vector<std::pair<int, int>>{{0, 5}}),
+               resched::Error);
+  EXPECT_THROW(Dag({}, {}), resched::Error);
+}
+
+TEST(Dag, SingleTaskGraph) {
+  Dag d({{2.0, 0.1}}, {});
+  EXPECT_EQ(d.size(), 1);
+  EXPECT_TRUE(d.has_single_entry_exit());
+  EXPECT_EQ(d.num_levels(), 1);
+}
+
+TEST(BottomLevels, HandComputedDiamond) {
+  Dag d = diamond({1, 2, 3, 4});  // alpha = 0, alloc = 1 -> exec = seq
+  std::vector<int> alloc(4, 1);
+  auto bl = dag::bottom_levels(d, alloc);
+  EXPECT_DOUBLE_EQ(bl[3], 4.0);
+  EXPECT_DOUBLE_EQ(bl[1], 6.0);
+  EXPECT_DOUBLE_EQ(bl[2], 7.0);
+  EXPECT_DOUBLE_EQ(bl[0], 8.0);  // 1 + max(6, 7)
+}
+
+TEST(BottomLevels, ReflectAllocations) {
+  Dag d = diamond({1, 2, 3, 4});
+  // With alpha 0 and 2 processors each, all exec times halve.
+  std::vector<int> alloc(4, 2);
+  auto bl = dag::bottom_levels(d, alloc);
+  EXPECT_DOUBLE_EQ(bl[0], 4.0);
+}
+
+TEST(TopLevels, HandComputedDiamond) {
+  Dag d = diamond({1, 2, 3, 4});
+  std::vector<int> alloc(4, 1);
+  auto tl = dag::top_levels(d, alloc);
+  EXPECT_DOUBLE_EQ(tl[0], 0.0);
+  EXPECT_DOUBLE_EQ(tl[1], 1.0);
+  EXPECT_DOUBLE_EQ(tl[2], 1.0);
+  EXPECT_DOUBLE_EQ(tl[3], 4.0);  // via task 2
+}
+
+TEST(CriticalPath, LengthAndMembership) {
+  Dag d = diamond({1, 2, 3, 4});
+  std::vector<int> alloc(4, 1);
+  EXPECT_DOUBLE_EQ(dag::critical_path_length(d, alloc), 8.0);
+  auto cp = dag::critical_path_tasks(d, alloc);
+  // Critical path is 0 -> 2 -> 3; task 1 has slack 1.
+  EXPECT_EQ(cp, (std::vector<int>{0, 2, 3}));
+}
+
+TEST(CriticalPath, AllTasksOnChain) {
+  std::vector<TaskCost> costs(3, TaskCost{2.0, 0.0});
+  std::vector<std::pair<int, int>> edges{{0, 1}, {1, 2}};
+  Dag d(std::move(costs), edges);
+  std::vector<int> alloc(3, 1);
+  EXPECT_EQ(dag::critical_path_tasks(d, alloc).size(), 3u);
+}
+
+TEST(OrderByDecreasing, SortsAndBreaksTiesTopologically) {
+  Dag d = diamond();
+  std::vector<double> key{5.0, 1.0, 1.0, 9.0};
+  auto order = dag::order_by_decreasing(d, key);
+  EXPECT_EQ(order[0], 3);
+  EXPECT_EQ(order[1], 0);
+  // 1 and 2 tie; both orders are topologically valid, but the order must be
+  // deterministic and match topological rank.
+  const auto& topo = d.topological_order();
+  auto rank = [&](int v) {
+    return std::find(topo.begin(), topo.end(), v) - topo.begin();
+  };
+  EXPECT_LT(rank(order[2]), rank(order[3]));
+}
+
+TEST(OrderByDecreasing, BottomLevelOrderPutsPredecessorsFirst) {
+  Dag d = diamond();
+  std::vector<int> alloc(4, 1);
+  auto bl = dag::bottom_levels(d, alloc);
+  auto order = dag::order_by_decreasing(d, bl);
+  std::vector<int> pos(4);
+  for (int i = 0; i < 4; ++i) pos[order[i]] = i;
+  for (int v = 0; v < 4; ++v)
+    for (int s : d.successors(v)) EXPECT_LT(pos[v], pos[s]);
+}
+
+TEST(InducedSubdag, KeepsStructureAndMapsIds) {
+  Dag d = diamond({1, 2, 3, 4});
+  std::vector<bool> keep{false, true, true, true};
+  auto sub = dag::induced_subdag(d, keep);
+  EXPECT_EQ(sub.dag.size(), 3);
+  EXPECT_EQ(sub.dag.num_edges(), 2);  // 1->3 and 2->3 survive
+  EXPECT_EQ(sub.to_original, (std::vector<int>{1, 2, 3}));
+  // Costs carried over.
+  EXPECT_DOUBLE_EQ(sub.dag.cost(0).seq_time, 2.0);
+  EXPECT_DOUBLE_EQ(sub.dag.cost(2).seq_time, 4.0);
+}
+
+TEST(InducedSubdag, SingleTaskAndValidation) {
+  Dag d = diamond();
+  std::vector<bool> keep{false, false, true, false};
+  auto sub = dag::induced_subdag(d, keep);
+  EXPECT_EQ(sub.dag.size(), 1);
+  EXPECT_EQ(sub.dag.num_edges(), 0);
+  EXPECT_THROW(dag::induced_subdag(d, std::vector<bool>(4, false)),
+               resched::Error);
+  EXPECT_THROW(dag::induced_subdag(d, std::vector<bool>(3, true)),
+               resched::Error);
+}
+
+TEST(Dag, AccessorsValidateRange) {
+  Dag d = diamond();
+  EXPECT_THROW(d.cost(-1), resched::Error);
+  EXPECT_THROW(d.predecessors(4), resched::Error);
+  EXPECT_THROW((void)dag::bottom_levels(d, std::vector<int>(3, 1)),
+               resched::Error);
+}
+
+}  // namespace
+
+namespace {
+
+TEST(DotExport, ContainsNodesEdgesAndAllocations) {
+  resched::dag::Dag d = diamond();
+  std::ostringstream os;
+  std::vector<int> alloc{1, 2, 4, 8};
+  resched::dag::write_dot(os, d, "diamond", alloc);
+  std::string out = os.str();
+  EXPECT_NE(out.find("digraph \"diamond\""), std::string::npos);
+  EXPECT_NE(out.find("t0 -> t1"), std::string::npos);
+  EXPECT_NE(out.find("t2 -> t3"), std::string::npos);
+  EXPECT_NE(out.find("procs=8"), std::string::npos);
+  // Without allocations, labels stay plain.
+  std::ostringstream plain;
+  resched::dag::write_dot(plain, d, "diamond");
+  EXPECT_EQ(plain.str().find("procs="), std::string::npos);
+}
+
+TEST(UmbrellaHeader, Compiles) {
+  // The umbrella include is exercised by grid_federation; here just assert
+  // a couple of cross-module symbols are visible together.
+  resched::util::Rng rng(1);
+  resched::dag::Dag d = resched::dag::generate(resched::dag::DagSpec{}, rng);
+  EXPECT_GT(d.size(), 0);
+}
+
+}  // namespace

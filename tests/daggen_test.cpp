@@ -1,0 +1,189 @@
+// Property tests for the synthetic DAG generator (paper §3.1 / Table 1):
+// structural invariants over the full parameter grid, plus directional
+// effects of each shape parameter.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/dag/daggen.hpp"
+#include "src/util/error.hpp"
+#include "src/util/stats.hpp"
+
+namespace {
+
+using namespace resched;
+
+class DagGenGrid
+    : public ::testing::TestWithParam<std::tuple<int, double, double, int>> {
+ protected:
+  dag::DagSpec spec_from_param() const {
+    auto [n, width, density, jump] = GetParam();
+    dag::DagSpec spec;
+    spec.num_tasks = n;
+    spec.width = width;
+    spec.density = density;
+    spec.jump = jump;
+    return spec;
+  }
+};
+
+TEST_P(DagGenGrid, StructuralInvariants) {
+  dag::DagSpec spec = spec_from_param();
+  util::Rng rng(99);
+  for (int sample = 0; sample < 5; ++sample) {
+    dag::Dag d = dag::generate(spec, rng);
+    // Exact task count, single entry / exit (construction already proves
+    // acyclicity — Dag's constructor rejects cycles).
+    EXPECT_EQ(d.size(), spec.num_tasks);
+    EXPECT_TRUE(d.has_single_entry_exit());
+    EXPECT_EQ(d.entries().front(), 0);
+    EXPECT_EQ(d.exits().front(), spec.num_tasks - 1);
+    // Connectivity: every non-entry task has a predecessor, every non-exit
+    // task a successor.
+    for (int v = 1; v < d.size(); ++v)
+      EXPECT_FALSE(d.predecessors(v).empty()) << "task " << v;
+    for (int v = 0; v < d.size() - 1; ++v)
+      EXPECT_FALSE(d.successors(v).empty()) << "task " << v;
+    // Cost model ranges.
+    for (int v = 0; v < d.size(); ++v) {
+      EXPECT_GE(d.cost(v).seq_time, spec.min_seq_time);
+      EXPECT_LE(d.cost(v).seq_time, spec.max_seq_time);
+      EXPECT_GE(d.cost(v).alpha, 0.0);
+      EXPECT_LE(d.cost(v).alpha, spec.alpha_max);
+    }
+  }
+}
+
+TEST_P(DagGenGrid, JumpBoundsInteriorEdgeSpan) {
+  dag::DagSpec spec = spec_from_param();
+  util::Rng rng(7);
+  dag::Dag d = dag::generate(spec, rng);
+  const auto& levels = d.levels();
+  int exit_task = d.size() - 1;
+  for (int v = 0; v < d.size(); ++v) {
+    for (int s : d.successors(v)) {
+      if (s == exit_task || v == 0) continue;  // entry/exit edges collect
+      EXPECT_LE(levels[s] - levels[v], spec.jump)
+          << "edge " << v << "->" << s << " skips too many levels";
+      EXPECT_GE(levels[s] - levels[v], 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1Grid, DagGenGrid,
+    ::testing::Combine(::testing::Values(10, 25, 50, 100),
+                       ::testing::Values(0.1, 0.5, 0.9),
+                       ::testing::Values(0.1, 0.5, 0.9),
+                       ::testing::Values(1, 2, 4)));
+
+TEST(DagGen, Deterministic) {
+  dag::DagSpec spec;
+  util::Rng a(5), b(5);
+  dag::Dag da = dag::generate(spec, a);
+  dag::Dag db = dag::generate(spec, b);
+  ASSERT_EQ(da.size(), db.size());
+  EXPECT_EQ(da.num_edges(), db.num_edges());
+  for (int v = 0; v < da.size(); ++v) {
+    EXPECT_EQ(da.successors(v), db.successors(v));
+    EXPECT_DOUBLE_EQ(da.cost(v).seq_time, db.cost(v).seq_time);
+  }
+}
+
+TEST(DagGen, WidthIncreasesParallelism) {
+  util::Rng rng(31);
+  util::Accumulator narrow, wide;
+  for (int i = 0; i < 20; ++i) {
+    dag::DagSpec spec;
+    spec.width = 0.1;
+    narrow.add(dag::generate(spec, rng).max_width());
+    spec.width = 0.9;
+    wide.add(dag::generate(spec, rng).max_width());
+  }
+  EXPECT_LT(narrow.mean() * 2.0, wide.mean());
+}
+
+TEST(DagGen, LowWidthYieldsDeepChains) {
+  util::Rng rng(32);
+  dag::DagSpec spec;
+  spec.width = 0.1;
+  dag::Dag d = dag::generate(spec, rng);
+  // A near-chain 50-task DAG has many levels.
+  EXPECT_GT(d.num_levels(), 20);
+}
+
+TEST(DagGen, DensityIncreasesEdgeCount) {
+  util::Rng rng(33);
+  util::Accumulator sparse, dense;
+  for (int i = 0; i < 20; ++i) {
+    dag::DagSpec spec;
+    spec.density = 0.1;
+    sparse.add(dag::generate(spec, rng).num_edges());
+    spec.density = 0.9;
+    dense.add(dag::generate(spec, rng).num_edges());
+  }
+  EXPECT_LT(sparse.mean(), dense.mean());
+}
+
+TEST(DagGen, RegularityReducesLevelSizeVariance) {
+  util::Rng rng(34);
+  auto level_size_cv = [&](double regularity) {
+    util::Accumulator cv;
+    for (int i = 0; i < 30; ++i) {
+      dag::DagSpec spec;
+      spec.regularity = regularity;
+      dag::Dag d = dag::generate(spec, rng);
+      std::vector<int> width(static_cast<std::size_t>(d.num_levels()), 0);
+      for (int lvl : d.levels()) ++width[static_cast<std::size_t>(lvl)];
+      util::Accumulator sizes;
+      // Skip the singleton entry/exit levels.
+      for (std::size_t l = 1; l + 1 < width.size(); ++l)
+        sizes.add(width[l]);
+      if (sizes.count() >= 2) cv.add(sizes.cv());
+    }
+    return cv.mean();
+  };
+  EXPECT_GT(level_size_cv(0.1), level_size_cv(0.9));
+}
+
+TEST(DagGen, JumpOneIsLayeredForInteriorEdges) {
+  util::Rng rng(35);
+  dag::DagSpec spec;
+  spec.jump = 1;
+  dag::Dag d = dag::generate(spec, rng);
+  const auto& levels = d.levels();
+  for (int v = 1; v < d.size() - 1; ++v)
+    for (int s : d.successors(v)) {
+      if (s != d.size() - 1) {
+        EXPECT_EQ(levels[s] - levels[v], 1);
+      }
+    }
+}
+
+TEST(DagGen, MinimumSizeGraph) {
+  util::Rng rng(36);
+  dag::DagSpec spec;
+  spec.num_tasks = 3;
+  dag::Dag d = dag::generate(spec, rng);
+  EXPECT_EQ(d.size(), 3);
+  EXPECT_TRUE(d.has_single_entry_exit());
+}
+
+TEST(DagGen, ValidatesSpec) {
+  util::Rng rng(37);
+  dag::DagSpec spec;
+  spec.num_tasks = 2;
+  EXPECT_THROW(dag::generate(spec, rng), resched::Error);
+  spec = {};
+  spec.width = 0.0;
+  EXPECT_THROW(dag::generate(spec, rng), resched::Error);
+  spec = {};
+  spec.jump = 5;
+  EXPECT_THROW(dag::generate(spec, rng), resched::Error);
+  spec = {};
+  spec.min_seq_time = 100.0;
+  spec.max_seq_time = 50.0;
+  EXPECT_THROW(dag::generate(spec, rng), resched::Error);
+}
+
+}  // namespace

@@ -1,0 +1,283 @@
+// Tests for the assumption-removal extensions: the opaque batch-scheduler
+// facade, blind (trial-and-error) scheduling, pessimistic runtime
+// estimates, cost scaling, and the Gantt renderer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/core/blind_ressched.hpp"
+#include "src/core/dynamic.hpp"
+#include "src/core/pessimism.hpp"
+#include "src/dag/daggen.hpp"
+#include "src/resv/batch_scheduler.hpp"
+#include "src/sim/gantt.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/stats.hpp"
+
+namespace {
+
+using namespace resched;
+
+resv::AvailabilityProfile random_profile(int p, int n_res, util::Rng& rng) {
+  resv::ReservationList list;
+  for (int i = 0; i < n_res; ++i) {
+    double start = rng.uniform(-12.0, 96.0) * 3600.0;
+    double dur = rng.uniform(0.5, 10.0) * 3600.0;
+    list.push_back({start, start + dur,
+                    static_cast<int>(rng.uniform_int(1, std::max(1, p / 3)))});
+  }
+  return resv::AvailabilityProfile(p, list);
+}
+
+TEST(BatchScheduler, ProbesAreMeteredAndConsistent) {
+  resv::AvailabilityProfile profile(16);
+  profile.add({100.0, 200.0, 16});
+  resv::BatchScheduler batch(profile);
+
+  EXPECT_EQ(batch.probes_used(), 0);
+  EXPECT_DOUBLE_EQ(batch.probe(4, 50.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(batch.probe(4, 50.0, 80.0), 200.0);
+  EXPECT_EQ(batch.probes_used(), 2);
+  EXPECT_THROW((void)batch.probe(17, 1.0, 0.0), resched::Error);
+}
+
+TEST(BatchScheduler, ReservationsAffectLaterProbes) {
+  resv::BatchScheduler batch(resv::AvailabilityProfile(8));
+  double offer = batch.probe(8, 100.0, 0.0);
+  batch.reserve({offer, offer + 100.0, 8});
+  EXPECT_DOUBLE_EQ(batch.probe(1, 10.0, 0.0), 100.0);
+}
+
+TEST(BlindRessched, ValidScheduleAndProbeAccounting) {
+  util::Rng rng(71);
+  dag::DagSpec spec;
+  spec.num_tasks = 15;
+  dag::Dag d = dag::generate(spec, rng);
+  const int p = 32;
+  auto profile = random_profile(p, 10, rng);
+  int q = resv::historical_average_available(profile, 0.0, 86400.0);
+
+  resv::BatchScheduler batch(profile);
+  core::BlindParams params;
+  params.probes_per_task = 4;
+  auto result = core::schedule_blind(d, batch, 0.0, q, params);
+
+  auto violation = core::validate_schedule(d, result.schedule, profile, 0.0);
+  EXPECT_FALSE(violation.has_value()) << *violation;
+  // The geometric ladder may merge duplicate counts, so probes per task are
+  // in [1, probes_per_task + 1] (the +1 covers the appended bound).
+  EXPECT_GE(result.probes_used, d.size());
+  EXPECT_LE(result.probes_used,
+            static_cast<long>(d.size()) * (params.probes_per_task + 1));
+  EXPECT_GT(result.turnaround, 0.0);
+}
+
+TEST(BlindRessched, SingleProbeUsesTheFullBound) {
+  // With one probe per task the ladder degenerates to the bound itself.
+  util::Rng rng(72);
+  dag::DagSpec spec;
+  spec.num_tasks = 10;
+  dag::Dag d = dag::generate(spec, rng);
+  resv::AvailabilityProfile profile(16);
+  resv::BatchScheduler batch(profile);
+  core::BlindParams params;
+  params.probes_per_task = 1;
+  auto result = core::schedule_blind(d, batch, 0.0, 16, params);
+  EXPECT_EQ(result.probes_used, d.size());
+  auto bounds = core::bd_bounds(d, 16, 16, params.bd, params.cpa);
+  for (int v = 0; v < d.size(); ++v)
+    EXPECT_EQ(result.schedule.tasks[static_cast<std::size_t>(v)].procs,
+              bounds[static_cast<std::size_t>(v)]);
+}
+
+TEST(BlindRessched, MoreProbesNeverHurtOnAverage) {
+  util::Rng rng(73);
+  util::Accumulator gap2, gap8;
+  for (int trial = 0; trial < 5; ++trial) {
+    dag::DagSpec spec;
+    spec.num_tasks = 15;
+    dag::Dag d = dag::generate(spec, rng);
+    auto profile = random_profile(48, 12, rng);
+    int q = resv::historical_average_available(profile, 0.0, 86400.0);
+    auto run = [&](int probes) {
+      resv::BatchScheduler batch(profile);
+      core::BlindParams params;
+      params.probes_per_task = probes;
+      return core::schedule_blind(d, batch, 0.0, q, params).turnaround;
+    };
+    double full = core::schedule_ressched(d, profile, 0.0, q, {}).turnaround;
+    gap2.add(run(2) / full);
+    gap8.add(run(8) / full);
+  }
+  EXPECT_LE(gap8.mean(), gap2.mean() + 1e-9);
+  EXPECT_LT(gap8.mean(), 1.25);  // close to full knowledge
+}
+
+TEST(BlindRessched, ValidatesParams) {
+  util::Rng rng(74);
+  dag::Dag d = dag::generate(dag::DagSpec{}, rng);
+  resv::BatchScheduler batch(resv::AvailabilityProfile(8));
+  core::BlindParams params;
+  params.probes_per_task = 0;
+  EXPECT_THROW(core::schedule_blind(d, batch, 0.0, 8, params),
+               resched::Error);
+}
+
+TEST(ScaleCosts, ScalesOnlySequentialTime) {
+  util::Rng rng(75);
+  dag::Dag d = dag::generate(dag::DagSpec{}, rng);
+  dag::Dag scaled = dag::scale_costs(d, 1.5);
+  ASSERT_EQ(scaled.size(), d.size());
+  EXPECT_EQ(scaled.num_edges(), d.num_edges());
+  for (int v = 0; v < d.size(); ++v) {
+    EXPECT_DOUBLE_EQ(scaled.cost(v).seq_time, 1.5 * d.cost(v).seq_time);
+    EXPECT_DOUBLE_EQ(scaled.cost(v).alpha, d.cost(v).alpha);
+    EXPECT_EQ(scaled.successors(v), d.successors(v));
+  }
+  EXPECT_THROW(dag::scale_costs(d, 0.0), resched::Error);
+}
+
+TEST(Pessimism, FactorOneIsExact) {
+  util::Rng rng(76);
+  dag::Dag d = dag::generate(dag::DagSpec{}, rng);
+  auto profile = random_profile(32, 8, rng);
+  int q = resv::historical_average_available(profile, 0.0, 86400.0);
+  auto r = core::schedule_ressched_pessimistic(d, profile, 0.0, q, {}, 1.0);
+  EXPECT_NEAR(r.actual_turnaround, r.reserved_turnaround, 1e-6);
+  auto exact = core::schedule_ressched(d, profile, 0.0, q, {});
+  EXPECT_NEAR(r.reserved_turnaround, exact.turnaround, 1e-6);
+}
+
+TEST(Pessimism, OverestimationDelaysAndInflates) {
+  util::Rng rng(77);
+  util::Accumulator tat_ratio, cpu_ratio;
+  for (int trial = 0; trial < 5; ++trial) {
+    dag::Dag d = dag::generate(dag::DagSpec{}, rng);
+    auto profile = random_profile(32, 10, rng);
+    int q = resv::historical_average_available(profile, 0.0, 86400.0);
+    auto exact =
+        core::schedule_ressched_pessimistic(d, profile, 0.0, q, {}, 1.0);
+    auto pess =
+        core::schedule_ressched_pessimistic(d, profile, 0.0, q, {}, 2.0);
+    // Actual completion and billed hours can only get worse on average.
+    tat_ratio.add(pess.actual_turnaround / exact.actual_turnaround);
+    cpu_ratio.add(pess.cpu_hours / exact.cpu_hours);
+    // Tasks always finish no later than their reservations promise.
+    EXPECT_LE(pess.actual_turnaround, pess.reserved_turnaround + 1e-6);
+  }
+  EXPECT_GT(tat_ratio.mean(), 1.0);
+  EXPECT_GT(cpu_ratio.mean(), 1.0);
+  EXPECT_THROW(core::schedule_ressched_pessimistic(
+                   dag::generate(dag::DagSpec{}, rng),
+                   resv::AvailabilityProfile(8), 0.0, 8, {}, 0.5),
+               resched::Error);
+}
+
+TEST(Gantt, RendersTasksAndLoad) {
+  core::AppSchedule sched;
+  sched.tasks = {{4, 0.0, 1800.0}, {8, 1800.0, 5400.0}};
+  resv::AvailabilityProfile profile(16);
+  profile.add({0.0, 3600.0, 8});
+  std::string out = sim::render_gantt(sched, profile, 0.0, 7200.0);
+  EXPECT_NE(out.find("t0"), std::string::npos);
+  EXPECT_NE(out.find("t1"), std::string::npos);
+  EXPECT_NE(out.find("load"), std::string::npos);
+  EXPECT_NE(out.find('['), std::string::npos);
+  // Two task rows + header + load strip.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Gantt, ValidatesArguments) {
+  core::AppSchedule sched;
+  sched.tasks = {{1, 0.0, 10.0}};
+  resv::AvailabilityProfile profile(4);
+  EXPECT_THROW((void)sim::render_gantt(sched, profile, 10.0, 10.0),
+               resched::Error);
+  sim::GanttOptions opts;
+  opts.columns = 4;
+  EXPECT_THROW((void)sim::render_gantt(sched, profile, 0.0, 100.0, opts),
+               resched::Error);
+}
+
+}  // namespace
+
+namespace {
+
+TEST(DynamicScheduling, ZeroDelayMatchesStaticExactly) {
+  util::Rng rng(301);
+  dag::Dag d = dag::generate(dag::DagSpec{}, rng);
+  auto profile = random_profile(32, 10, rng);
+  int q = resv::historical_average_available(profile, 0.0, 86400.0);
+  core::ResschedParams params;
+  auto base = core::schedule_ressched(d, profile, 0.0, q, params);
+  core::ArrivalModel arrivals;
+  arrivals.rate_per_hour = 100.0;  // irrelevant at zero delay
+  util::Rng arrival_rng(5);
+  auto dyn = core::schedule_ressched_dynamic(d, profile, 0.0, q, params, 0.0,
+                                             arrivals, arrival_rng);
+  EXPECT_EQ(dyn.arrivals_seen, 0);
+  for (int v = 0; v < d.size(); ++v) {
+    auto vi = static_cast<std::size_t>(v);
+    EXPECT_EQ(dyn.schedule.tasks[vi].procs, base.schedule.tasks[vi].procs);
+    EXPECT_DOUBLE_EQ(dyn.schedule.tasks[vi].start,
+                     base.schedule.tasks[vi].start);
+  }
+}
+
+TEST(DynamicScheduling, ScheduleValidAgainstFinalCalendar) {
+  // The produced schedule must be capacity-feasible together with both the
+  // original competing load and every mid-scheduling arrival. Replay the
+  // run with the same seed to reconstruct the arrival set implicitly: the
+  // schedule must at least be valid against the *initial* calendar (a
+  // superset check runs inside the scheduler via earliest_fit).
+  util::Rng rng(302);
+  dag::Dag d = dag::generate(dag::DagSpec{}, rng);
+  auto profile = random_profile(32, 8, rng);
+  int q = resv::historical_average_available(profile, 0.0, 86400.0);
+  core::ArrivalModel arrivals;
+  arrivals.rate_per_hour = 12.0;
+  util::Rng arrival_rng(6);
+  auto dyn = core::schedule_ressched_dynamic(d, profile, 0.0, q, {}, 120.0,
+                                             arrivals, arrival_rng);
+  auto violation = core::validate_schedule(d, dyn.schedule, profile, 0.0);
+  EXPECT_FALSE(violation.has_value()) << *violation;
+  EXPECT_GT(dyn.arrivals_seen, 0);
+}
+
+TEST(DynamicScheduling, HeavierContentionNeverHelpsOnAverage) {
+  util::Rng rng(303);
+  util::Accumulator calm, stormy;
+  for (int trial = 0; trial < 5; ++trial) {
+    dag::Dag d = dag::generate(dag::DagSpec{}, rng);
+    auto profile = random_profile(48, 8, rng);
+    int q = resv::historical_average_available(profile, 0.0, 86400.0);
+    auto run = [&](double rate, std::uint64_t seed) {
+      core::ArrivalModel arrivals;
+      arrivals.rate_per_hour = rate;
+      util::Rng arrival_rng(seed);
+      return core::schedule_ressched_dynamic(d, profile, 0.0, q, {}, 600.0,
+                                             arrivals, arrival_rng)
+          .turnaround;
+    };
+    calm.add(run(0.5, 9));
+    stormy.add(run(20.0, 9));
+  }
+  EXPECT_LE(calm.mean(), stormy.mean() * 1.001);
+}
+
+TEST(DynamicScheduling, ValidatesArguments) {
+  util::Rng rng(304);
+  dag::Dag d = dag::generate(dag::DagSpec{}, rng);
+  resv::AvailabilityProfile profile(8);
+  core::ArrivalModel arrivals;
+  util::Rng arrival_rng(1);
+  EXPECT_THROW(core::schedule_ressched_dynamic(d, profile, 0.0, 8, {}, -1.0,
+                                               arrivals, arrival_rng),
+               resched::Error);
+  arrivals.rate_per_hour = -1.0;
+  EXPECT_THROW(core::schedule_ressched_dynamic(d, profile, 0.0, 8, {}, 0.0,
+                                               arrivals, arrival_rng),
+               resched::Error);
+}
+
+}  // namespace

@@ -1,0 +1,174 @@
+// Tests for the application / schedule I/O module: DAG text-format parsing
+// (happy paths and every diagnostic), round-trips, and CSV export.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/dag/daggen.hpp"
+#include "src/io/calendar_format.hpp"
+#include "src/io/dag_format.hpp"
+#include "src/resv/reservation.hpp"
+#include "src/util/error.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace resched;
+
+TEST(DagFormat, ParsesTasksEdgesAndComments) {
+  std::istringstream in(
+      "# three-stage pipeline\n"
+      "task prep    1800  0.4\n"
+      "task solve  36000  0.05   # the big one\n"
+      "task render  3600  0.2\n"
+      "\n"
+      "edge prep solve\n"
+      "edge solve render\n");
+  auto app = io::read_dag(in, "pipeline");
+  EXPECT_EQ(app.dag.size(), 3);
+  EXPECT_EQ(app.dag.num_edges(), 2);
+  EXPECT_EQ(app.names, (std::vector<std::string>{"prep", "solve", "render"}));
+  EXPECT_EQ(app.id_of("solve"), 1);
+  EXPECT_DOUBLE_EQ(app.dag.cost(1).seq_time, 36000.0);
+  EXPECT_DOUBLE_EQ(app.dag.cost(1).alpha, 0.05);
+  EXPECT_EQ(app.dag.successors(0), std::vector<int>{1});
+  EXPECT_THROW(app.id_of("nonexistent"), resched::Error);
+}
+
+TEST(DagFormat, ForwardEdgeReferencesWork) {
+  std::istringstream in(
+      "edge a b\n"
+      "task a 60 0\n"
+      "task b 60 0\n");
+  auto app = io::read_dag(in);
+  EXPECT_EQ(app.dag.num_edges(), 1);
+}
+
+TEST(DagFormat, DiagnosticsCarryLineNumbers) {
+  auto expect_error = [](const std::string& text, const std::string& needle) {
+    std::istringstream in(text);
+    try {
+      io::read_dag(in, "bad");
+      FAIL() << "expected parse failure for: " << text;
+    } catch (const resched::Error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_error("task a\n", "expected: task");
+  expect_error("task a 60 0\ntask a 60 0\n", "duplicate task");
+  expect_error("task a -5 0\n", "positive");
+  expect_error("task a 60 1.5\n", "alpha");
+  expect_error("task a 60 0\nedge a\n", "expected: edge");
+  expect_error("task a 60 0\nedge a ghost\n", "unknown task 'ghost'");
+  expect_error("frobnicate\n", "unknown directive");
+  expect_error("# nothing\n", "no tasks");
+  // Cycles are reported by the Dag constructor.
+  expect_error("task a 60 0\ntask b 60 0\nedge a b\nedge b a\n", "cycle");
+}
+
+TEST(DagFormat, RoundTripPreservesStructure) {
+  util::Rng rng(42);
+  dag::Dag original = dag::generate(dag::DagSpec{}, rng);
+  std::ostringstream out;
+  io::write_dag(out, original);
+  std::istringstream in(out.str());
+  auto parsed = io::read_dag(in, "roundtrip");
+
+  ASSERT_EQ(parsed.dag.size(), original.size());
+  EXPECT_EQ(parsed.dag.num_edges(), original.num_edges());
+  for (int v = 0; v < original.size(); ++v) {
+    EXPECT_DOUBLE_EQ(parsed.dag.cost(v).seq_time, original.cost(v).seq_time);
+    EXPECT_DOUBLE_EQ(parsed.dag.cost(v).alpha, original.cost(v).alpha);
+    EXPECT_EQ(parsed.dag.successors(v), original.successors(v));
+  }
+}
+
+TEST(DagFormat, WriteUsesProvidedNames) {
+  std::istringstream in("task alpha 60 0\ntask beta 60 0\nedge alpha beta\n");
+  auto app = io::read_dag(in);
+  std::ostringstream out;
+  io::write_dag(out, app.dag, app.names);
+  EXPECT_NE(out.str().find("task alpha"), std::string::npos);
+  EXPECT_NE(out.str().find("edge alpha beta"), std::string::npos);
+}
+
+TEST(DagFormat, MissingFileThrows) {
+  EXPECT_THROW(io::read_dag_file("/nonexistent/x.dag"), resched::Error);
+}
+
+TEST(ScheduleCsv, EmitsOneRowPerTask) {
+  core::AppSchedule sched;
+  sched.tasks = {{4, 0.0, 1800.0}, {8, 1800.0, 5400.0}};
+  std::ostringstream out;
+  io::write_schedule_csv(out, sched, {"first", "second"});
+  std::string text = out.str();
+  EXPECT_NE(text.find("task,name,procs,start,finish,duration"),
+            std::string::npos);
+  EXPECT_NE(text.find("0,first,4,0,1800,1800"), std::string::npos);
+  EXPECT_NE(text.find("1,second,8,1800,5400,3600"), std::string::npos);
+}
+
+TEST(ScheduleCsv, DefaultNames) {
+  core::AppSchedule sched;
+  sched.tasks = {{1, 0.0, 10.0}};
+  std::ostringstream out;
+  io::write_schedule_csv(out, sched);
+  EXPECT_NE(out.str().find("0,t0,1,"), std::string::npos);
+}
+
+}  // namespace
+
+namespace {
+
+TEST(CalendarFormat, ParsesCapacityAndReservations) {
+  std::istringstream in(
+      "# maintenance plan\n"
+      "capacity 128\n"
+      "resv 3600 7200 64\n"
+      "resv 0 1800 128  # full block\n");
+  auto profile = io::read_calendar(in, "plan");
+  EXPECT_EQ(profile.capacity(), 128);
+  EXPECT_EQ(profile.reservation_count(), 2);
+  EXPECT_EQ(profile.available_at(900.0), 0);
+  EXPECT_EQ(profile.available_at(5000.0), 64);
+  EXPECT_EQ(profile.available_at(8000.0), 128);
+}
+
+TEST(CalendarFormat, Diagnostics) {
+  auto expect_error = [](const std::string& text, const std::string& needle) {
+    std::istringstream in(text);
+    try {
+      io::read_calendar(in, "bad");
+      FAIL() << text;
+    } catch (const resched::Error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_error("resv 0 10 1\n", "capacity must precede");
+  expect_error("capacity 8\ncapacity 8\n", "duplicate capacity");
+  expect_error("capacity 0\n", "expected: capacity");
+  expect_error("capacity 8\nresv 10 5 1\n", "start < end");
+  expect_error("capacity 8\nresv 0 10 0\n", "procs >= 1");
+  expect_error("bogus\n", "unknown directive");
+  expect_error("# empty\n", "missing capacity");
+}
+
+TEST(CalendarFormat, RoundTrip) {
+  resv::ReservationList list{{0.0, 3600.5, 4}, {7200.25, 9000.0, 2}};
+  std::ostringstream out;
+  io::write_calendar(out, 16, list);
+  std::istringstream in(out.str());
+  auto profile = io::read_calendar(in, "roundtrip");
+  EXPECT_EQ(profile.capacity(), 16);
+  EXPECT_EQ(profile.reservation_count(), 2);
+  EXPECT_EQ(profile.available_at(1000.0), 12);
+  EXPECT_EQ(profile.available_at(8000.0), 14);
+}
+
+TEST(CalendarFormat, MissingFileThrows) {
+  EXPECT_THROW(io::read_calendar_file("/nonexistent/x.cal"), resched::Error);
+}
+
+}  // namespace

@@ -1,0 +1,143 @@
+// Tests for multi-cluster deadline scheduling: deadline compliance and
+// validity for both algorithms, λ behaviour, and the conservative
+// algorithm's resource savings.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/dag/daggen.hpp"
+#include "src/multi/deadline_multi.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/stats.hpp"
+
+namespace {
+
+using namespace resched;
+
+multi::MultiPlatform make_platform(std::vector<std::pair<int, double>> spec,
+                                   std::uint64_t seed, int n_res = 6) {
+  util::Rng rng(seed);
+  std::vector<multi::Cluster> clusters;
+  for (std::size_t c = 0; c < spec.size(); ++c) {
+    multi::Cluster cluster("c" + std::to_string(c), spec[c].first,
+                           spec[c].second);
+    for (int i = 0; i < n_res; ++i) {
+      double start = rng.uniform(-12.0, 72.0) * 3600.0;
+      double dur = rng.uniform(0.5, 8.0) * 3600.0;
+      cluster.calendar.add({start, start + dur,
+                            static_cast<int>(rng.uniform_int(
+                                1, std::max(1, spec[c].first / 3)))});
+    }
+    clusters.push_back(std::move(cluster));
+  }
+  return multi::MultiPlatform(std::move(clusters));
+}
+
+double comfortable_deadline(const dag::Dag& d,
+                            const multi::MultiPlatform& platform) {
+  return 3.0 * multi::schedule_ressched_multi(d, platform, 0.0).turnaround;
+}
+
+class MultiDeadlineAlgos
+    : public ::testing::TestWithParam<multi::MultiDlAlgo> {};
+
+TEST_P(MultiDeadlineAlgos, MeetsDeadlineWithValidSchedule) {
+  for (std::uint64_t seed : {11ull, 12ull, 13ull}) {
+    util::Rng rng(seed);
+    dag::DagSpec spec;
+    spec.num_tasks = 20;
+    dag::Dag d = dag::generate(spec, rng);
+    auto platform = make_platform({{48, 1.0}, {32, 2.0}}, seed);
+    double k = comfortable_deadline(d, platform);
+
+    multi::MultiDeadlineParams params;
+    params.algo = GetParam();
+    auto result = multi::schedule_deadline_multi(d, platform, 0.0, k, params);
+    ASSERT_TRUE(result.feasible) << multi::to_string(params.algo);
+    EXPECT_LE(result.schedule.finish_time(), k + 1e-6);
+
+    multi::MultiResult as_multi;
+    as_multi.schedule = result.schedule;
+    as_multi.cluster_of = result.cluster_of;
+    auto violation =
+        multi::validate_multi_schedule(d, platform, as_multi, 0.0);
+    EXPECT_FALSE(violation.has_value())
+        << multi::to_string(params.algo) << ": " << *violation;
+  }
+}
+
+TEST_P(MultiDeadlineAlgos, InfeasibleWhenAbsurdlyTight) {
+  util::Rng rng(14);
+  dag::DagSpec spec;
+  spec.num_tasks = 15;
+  dag::Dag d = dag::generate(spec, rng);
+  auto platform = make_platform({{48, 1.0}, {32, 2.0}}, 14);
+  // Even the fastest cluster cannot compress below its all-processor
+  // critical path.
+  std::vector<int> all(static_cast<std::size_t>(d.size()), 48);
+  double floor_len = dag::critical_path_length(d, all) / 2.0;  // speed 2.0
+
+  multi::MultiDeadlineParams params;
+  params.algo = GetParam();
+  auto result =
+      multi::schedule_deadline_multi(d, platform, 0.0, 0.5 * floor_len, params);
+  EXPECT_FALSE(result.feasible);
+}
+
+INSTANTIATE_TEST_SUITE_P(Both, MultiDeadlineAlgos,
+                         ::testing::Values(
+                             multi::MultiDlAlgo::kAggressive,
+                             multi::MultiDlAlgo::kConservativeLambda),
+                         [](const auto& param_info) {
+                           return param_info.param ==
+                                          multi::MultiDlAlgo::kAggressive
+                                      ? "aggressive"
+                                      : "conservative";
+                         });
+
+TEST(MultiDeadline, ConservativeSavesWorkAtLooseDeadlines) {
+  util::Accumulator aggressive_cpu, conservative_cpu;
+  for (std::uint64_t seed : {21ull, 22ull, 23ull, 24ull}) {
+    util::Rng rng(seed);
+    dag::DagSpec spec;
+    spec.num_tasks = 20;
+    dag::Dag d = dag::generate(spec, rng);
+    auto platform = make_platform({{64, 1.0}, {64, 1.0}}, seed);
+    double k = comfortable_deadline(d, platform);
+
+    multi::MultiDeadlineParams agg;
+    agg.algo = multi::MultiDlAlgo::kAggressive;
+    multi::MultiDeadlineParams rc;
+    rc.algo = multi::MultiDlAlgo::kConservativeLambda;
+    auto a = multi::schedule_deadline_multi(d, platform, 0.0, k, agg);
+    auto c = multi::schedule_deadline_multi(d, platform, 0.0, k, rc);
+    ASSERT_TRUE(a.feasible);
+    ASSERT_TRUE(c.feasible);
+    aggressive_cpu.add(a.cpu_hours);
+    conservative_cpu.add(c.cpu_hours);
+  }
+  EXPECT_LT(conservative_cpu.mean(), aggressive_cpu.mean());
+}
+
+TEST(MultiDeadline, LambdaReported) {
+  util::Rng rng(25);
+  dag::DagSpec spec;
+  spec.num_tasks = 15;
+  dag::Dag d = dag::generate(spec, rng);
+  auto platform = make_platform({{48, 1.0}}, 25);
+  double k = comfortable_deadline(d, platform);
+  multi::MultiDeadlineParams params;
+  auto result = multi::schedule_deadline_multi(d, platform, 0.0, k, params);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_GE(result.lambda_used, 0.0);
+  EXPECT_LE(result.lambda_used, 1.0);
+}
+
+TEST(MultiDeadline, NamesAreStable) {
+  EXPECT_STREQ(multi::to_string(multi::MultiDlAlgo::kAggressive),
+               "MDL_BD_CPA");
+  EXPECT_STREQ(multi::to_string(multi::MultiDlAlgo::kConservativeLambda),
+               "MDL_RC_CPAR-lambda");
+}
+
+}  // namespace

@@ -1,0 +1,157 @@
+// Tests for the multi-cluster extension: platform invariants, schedule
+// validity, single-cluster equivalence, fragmentation and heterogeneity
+// behaviour.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/core/ressched.hpp"
+#include "src/dag/daggen.hpp"
+#include "src/multi/ressched_multi.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/stats.hpp"
+
+namespace {
+
+using namespace resched;
+
+multi::MultiPlatform uniform_platform(std::vector<int> sizes,
+                                      std::uint64_t seed, int n_res = 8) {
+  util::Rng rng(seed);
+  std::vector<multi::Cluster> clusters;
+  for (std::size_t c = 0; c < sizes.size(); ++c) {
+    multi::Cluster cluster("c" + std::to_string(c), sizes[c]);
+    for (int i = 0; i < n_res; ++i) {
+      double start = rng.uniform(-12.0, 72.0) * 3600.0;
+      double dur = rng.uniform(0.5, 8.0) * 3600.0;
+      cluster.calendar.add(
+          {start, start + dur,
+           static_cast<int>(rng.uniform_int(1, std::max(1, sizes[c] / 3)))});
+    }
+    clusters.push_back(std::move(cluster));
+  }
+  return multi::MultiPlatform(std::move(clusters));
+}
+
+TEST(MultiPlatform, Accessors) {
+  auto platform = uniform_platform({32, 64, 16}, 1, 0);
+  EXPECT_EQ(platform.num_clusters(), 3);
+  EXPECT_EQ(platform.total_procs(), 112);
+  EXPECT_EQ(platform.max_cluster_procs(), 64);
+  auto q = platform.historical_availability(0.0, 86400.0);
+  ASSERT_EQ(q.size(), 3u);
+  EXPECT_EQ(q[0], 32);
+  EXPECT_EQ(q[1], 64);
+}
+
+TEST(MultiPlatform, Validation) {
+  EXPECT_THROW(multi::MultiPlatform({}), resched::Error);
+  EXPECT_THROW(multi::Cluster("x", 8, 0.0), resched::Error);
+  EXPECT_THROW(multi::Cluster("x", 0, 1.0), resched::Error);
+}
+
+TEST(MultiPlatform, SpeedScalesExecution) {
+  multi::Cluster fast("fast", 8, 2.0);
+  dag::TaskCost cost{3600.0, 0.0};
+  EXPECT_DOUBLE_EQ(fast.exec_time(cost, 1), 1800.0);
+  EXPECT_DOUBLE_EQ(fast.exec_time(cost, 2), 900.0);
+}
+
+class MultiValidity : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiValidity, SchedulesAreValid) {
+  int num_clusters = GetParam();
+  util::Rng rng(80 + static_cast<std::uint64_t>(num_clusters));
+  for (int trial = 0; trial < 3; ++trial) {
+    dag::DagSpec spec;
+    spec.num_tasks = 20;
+    dag::Dag d = dag::generate(spec, rng);
+    std::vector<int> sizes(static_cast<std::size_t>(num_clusters),
+                           128 / num_clusters);
+    auto platform =
+        uniform_platform(sizes, 90 + static_cast<std::uint64_t>(trial));
+    auto result = multi::schedule_ressched_multi(d, platform, 0.0);
+    auto violation = multi::validate_multi_schedule(d, platform, result, 0.0);
+    EXPECT_FALSE(violation.has_value())
+        << num_clusters << " clusters: " << *violation;
+    EXPECT_GT(result.turnaround, 0.0);
+    EXPECT_GT(result.cpu_hours, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ClusterCounts, MultiValidity,
+                         ::testing::Values(1, 2, 4));
+
+TEST(Multi, SingleClusterMatchesCoreAlgorithm) {
+  // With one homogeneous cluster the multi scheduler degenerates to
+  // BL_CPAR / BD_CPAR.
+  util::Rng rng(81);
+  for (int trial = 0; trial < 3; ++trial) {
+    dag::DagSpec spec;
+    spec.num_tasks = 15;
+    dag::Dag d = dag::generate(spec, rng);
+    auto platform =
+        uniform_platform({64}, 95 + static_cast<std::uint64_t>(trial));
+    auto multi_result = multi::schedule_ressched_multi(d, platform, 0.0);
+
+    const auto& calendar = platform.cluster(0).calendar;
+    int q = resv::historical_average_available(calendar, 0.0, 7 * 86400.0);
+    auto single = core::schedule_ressched(d, calendar, 0.0, q, {});
+    EXPECT_NEAR(multi_result.turnaround, single.turnaround,
+                1e-6 * single.turnaround);
+    EXPECT_NEAR(multi_result.cpu_hours, single.cpu_hours,
+                1e-6 * single.cpu_hours);
+  }
+}
+
+TEST(Multi, FragmentationNeverHelpsOnAverage) {
+  util::Rng rng(82);
+  util::Accumulator whole, split;
+  for (int trial = 0; trial < 5; ++trial) {
+    dag::DagSpec spec;
+    spec.num_tasks = 25;
+    dag::Dag d = dag::generate(spec, rng);
+    auto one = uniform_platform({128}, 200 + static_cast<std::uint64_t>(trial),
+                                0);
+    auto four = uniform_platform({32, 32, 32, 32},
+                                 200 + static_cast<std::uint64_t>(trial), 0);
+    whole.add(multi::schedule_ressched_multi(d, one, 0.0).turnaround);
+    split.add(multi::schedule_ressched_multi(d, four, 0.0).turnaround);
+  }
+  EXPECT_LE(whole.mean(), split.mean() + 1e-9);
+}
+
+TEST(Multi, HeterogeneityAttractsTasksToFastCluster) {
+  util::Rng rng(83);
+  util::Rng prng(84);
+  std::vector<multi::Cluster> clusters;
+  clusters.emplace_back("fast", 32, 3.0);
+  clusters.emplace_back("slow", 32, 1.0);
+  multi::MultiPlatform platform(std::move(clusters));
+
+  dag::DagSpec spec;
+  spec.num_tasks = 30;
+  dag::Dag d = dag::generate(spec, rng);
+  auto result = multi::schedule_ressched_multi(d, platform, 0.0);
+  int on_fast = 0;
+  for (int c : result.cluster_of) on_fast += (c == 0) ? 1 : 0;
+  // The 3x-faster equal-size cluster should host a clear majority.
+  EXPECT_GT(on_fast, d.size() / 2);
+}
+
+TEST(Multi, TasksNeverExceedTheirCluster) {
+  util::Rng rng(85);
+  dag::DagSpec spec;
+  spec.num_tasks = 20;
+  spec.width = 0.2;  // narrow: large allocations wanted
+  dag::Dag d = dag::generate(spec, rng);
+  auto platform = uniform_platform({16, 48}, 300);
+  auto result = multi::schedule_ressched_multi(d, platform, 0.0);
+  for (int v = 0; v < d.size(); ++v) {
+    auto vi = static_cast<std::size_t>(v);
+    EXPECT_LE(result.schedule.tasks[vi].procs,
+              platform.cluster(result.cluster_of[vi]).procs());
+  }
+}
+
+}  // namespace

@@ -1,0 +1,363 @@
+// Unit and property tests for the availability profile (paper §3.2): exact
+// hand-crafted calendar cases plus randomized cross-checks of earliest_fit
+// / latest_fit against a brute-force reference.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "src/resv/profile.hpp"
+#include "src/util/error.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace resched;
+using resv::AvailabilityProfile;
+using resv::Reservation;
+using resv::ReservationList;
+
+TEST(Profile, EmptyProfileIsAllFree) {
+  AvailabilityProfile p(8);
+  EXPECT_EQ(p.capacity(), 8);
+  EXPECT_EQ(p.available_at(-100.0), 8);
+  EXPECT_EQ(p.available_at(0.0), 8);
+  EXPECT_EQ(p.available_at(1e12), 8);
+  EXPECT_EQ(p.reservation_count(), 0);
+}
+
+TEST(Profile, SingleReservationStepFunction) {
+  AvailabilityProfile p(8);
+  p.add({10.0, 20.0, 3});
+  EXPECT_EQ(p.available_at(9.999), 8);
+  EXPECT_EQ(p.available_at(10.0), 5);   // [start, end)
+  EXPECT_EQ(p.available_at(19.999), 5);
+  EXPECT_EQ(p.available_at(20.0), 8);
+  EXPECT_EQ(p.reservation_count(), 1);
+}
+
+TEST(Profile, OverlappingReservationsAccumulate) {
+  AvailabilityProfile p(10);
+  p.add({0.0, 10.0, 4});
+  p.add({5.0, 15.0, 3});
+  EXPECT_EQ(p.available_at(2.0), 6);
+  EXPECT_EQ(p.available_at(7.0), 3);
+  EXPECT_EQ(p.available_at(12.0), 7);
+}
+
+TEST(Profile, OversubscriptionClampsToZero) {
+  AvailabilityProfile p(4);
+  p.add({0.0, 10.0, 3});
+  p.add({0.0, 10.0, 3});
+  EXPECT_EQ(p.available_at(5.0), 0);
+  EXPECT_EQ(p.min_available(0.0, 10.0), 0);
+  // And the fit query still finds the free region after the pile-up.
+  auto fit = p.earliest_fit(1, 5.0, 0.0);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_DOUBLE_EQ(*fit, 10.0);
+}
+
+TEST(Profile, ZeroProcReservationIsIgnored) {
+  AvailabilityProfile p(4);
+  p.add({0.0, 10.0, 0});
+  EXPECT_EQ(p.available_at(5.0), 4);
+  EXPECT_EQ(p.reservation_count(), 0);
+}
+
+TEST(Profile, AddValidatesReservation) {
+  AvailabilityProfile p(4);
+  EXPECT_THROW(p.add({10.0, 10.0, 1}), resched::Error);
+  EXPECT_THROW(p.add({10.0, 5.0, 1}), resched::Error);
+  EXPECT_THROW(p.add({0.0, 1.0, -2}), resched::Error);
+}
+
+TEST(EarliestFit, ImmediateWhenFree) {
+  AvailabilityProfile p(8);
+  auto fit = p.earliest_fit(8, 100.0, 42.0);
+  ASSERT_TRUE(fit);
+  EXPECT_DOUBLE_EQ(*fit, 42.0);
+}
+
+TEST(EarliestFit, WaitsForRelease) {
+  AvailabilityProfile p(8);
+  p.add({0.0, 50.0, 6});
+  // 4 procs are only free from t = 50.
+  auto fit = p.earliest_fit(4, 10.0, 0.0);
+  ASSERT_TRUE(fit);
+  EXPECT_DOUBLE_EQ(*fit, 50.0);
+  // 2 procs fit immediately.
+  auto small = p.earliest_fit(2, 10.0, 0.0);
+  ASSERT_TRUE(small);
+  EXPECT_DOUBLE_EQ(*small, 0.0);
+}
+
+TEST(EarliestFit, SkipsHoleThatIsTooShort) {
+  AvailabilityProfile p(4);
+  p.add({0.0, 10.0, 4});
+  p.add({15.0, 30.0, 4});
+  // The [10, 15) hole fits 4 procs but only for 5 seconds.
+  auto fit = p.earliest_fit(1, 6.0, 0.0);
+  ASSERT_TRUE(fit);
+  EXPECT_DOUBLE_EQ(*fit, 30.0);
+  auto exact = p.earliest_fit(1, 5.0, 0.0);
+  ASSERT_TRUE(exact);
+  EXPECT_DOUBLE_EQ(*exact, 10.0);
+}
+
+TEST(EarliestFit, SpansAdjacentSegmentsWithEnoughCapacity) {
+  AvailabilityProfile p(8);
+  p.add({0.0, 10.0, 2});
+  p.add({10.0, 20.0, 4});
+  // 4 procs are free throughout [0, 20): the window may cross the step.
+  auto fit = p.earliest_fit(4, 15.0, 0.0);
+  ASSERT_TRUE(fit);
+  EXPECT_DOUBLE_EQ(*fit, 0.0);
+  // 5 procs only from t = 20.
+  auto five = p.earliest_fit(5, 15.0, 0.0);
+  ASSERT_TRUE(five);
+  EXPECT_DOUBLE_EQ(*five, 20.0);
+}
+
+TEST(EarliestFit, HonorsNotBeforeMidSegment) {
+  AvailabilityProfile p(8);
+  auto fit = p.earliest_fit(3, 10.0, 123.456);
+  ASSERT_TRUE(fit);
+  EXPECT_DOUBLE_EQ(*fit, 123.456);
+}
+
+TEST(EarliestFit, TooManyProcsIsEmpty) {
+  AvailabilityProfile p(8);
+  EXPECT_FALSE(p.earliest_fit(9, 1.0, 0.0).has_value());
+}
+
+TEST(EarliestFit, ValidatesArguments) {
+  AvailabilityProfile p(8);
+  EXPECT_THROW((void)p.earliest_fit(0, 1.0, 0.0), resched::Error);
+  EXPECT_THROW((void)p.earliest_fit(1, 0.0, 0.0), resched::Error);
+}
+
+TEST(LatestFit, PacksAgainstDeadlineWhenFree) {
+  AvailabilityProfile p(8);
+  auto fit = p.latest_fit(4, 10.0, 100.0, 0.0);
+  ASSERT_TRUE(fit);
+  EXPECT_DOUBLE_EQ(*fit, 90.0);
+}
+
+TEST(LatestFit, AvoidsBusyTail) {
+  AvailabilityProfile p(8);
+  p.add({80.0, 120.0, 6});
+  // 4 procs are not free in [80, 120); latest 10s window ends at 80.
+  auto fit = p.latest_fit(4, 10.0, 100.0, 0.0);
+  ASSERT_TRUE(fit);
+  EXPECT_DOUBLE_EQ(*fit, 70.0);
+  // 2 procs still fit right against the deadline.
+  auto small = p.latest_fit(2, 10.0, 100.0, 0.0);
+  ASSERT_TRUE(small);
+  EXPECT_DOUBLE_EQ(*small, 90.0);
+}
+
+TEST(LatestFit, RespectsNotBefore) {
+  AvailabilityProfile p(8);
+  EXPECT_FALSE(p.latest_fit(1, 10.0, 100.0, 95.0).has_value());
+  auto fit = p.latest_fit(1, 10.0, 100.0, 90.0);
+  ASSERT_TRUE(fit);
+  EXPECT_DOUBLE_EQ(*fit, 90.0);
+}
+
+TEST(LatestFit, InfeasibleWhenWindowBlocked) {
+  AvailabilityProfile p(4);
+  p.add({0.0, 100.0, 4});
+  EXPECT_FALSE(p.latest_fit(1, 10.0, 100.0, 0.0).has_value());
+  // But feasible before the block if not_before allows it.
+  auto fit = p.latest_fit(1, 10.0, 100.0, -50.0);
+  ASSERT_TRUE(fit);
+  EXPECT_DOUBLE_EQ(*fit, -10.0);
+}
+
+TEST(LatestFit, ExactFitInHole) {
+  AvailabilityProfile p(4);
+  p.add({0.0, 10.0, 4});
+  p.add({15.0, 30.0, 4});
+  auto fit = p.latest_fit(1, 5.0, 30.0, 0.0);
+  ASSERT_TRUE(fit);
+  EXPECT_DOUBLE_EQ(*fit, 10.0);
+  EXPECT_FALSE(p.latest_fit(1, 6.0, 30.0, 0.0).has_value());
+}
+
+TEST(AverageAvailable, IntegratesSteps) {
+  AvailabilityProfile p(10);
+  p.add({0.0, 10.0, 4});
+  // [0,10): 6 free; [10,20): 10 free -> average 8 over [0,20).
+  EXPECT_DOUBLE_EQ(p.average_available(0.0, 20.0), 8.0);
+  EXPECT_DOUBLE_EQ(p.average_available(0.0, 10.0), 6.0);
+  EXPECT_DOUBLE_EQ(p.average_available(10.0, 20.0), 10.0);
+  EXPECT_THROW((void)p.average_available(5.0, 5.0), resched::Error);
+}
+
+TEST(MinAvailable, FindsTightestSegment) {
+  AvailabilityProfile p(10);
+  p.add({0.0, 10.0, 4});
+  p.add({5.0, 8.0, 3});
+  EXPECT_EQ(p.min_available(0.0, 10.0), 3);
+  EXPECT_EQ(p.min_available(8.0, 10.0), 6);
+  EXPECT_EQ(p.min_available(10.0, 20.0), 10);
+}
+
+TEST(Profile, SampleAndBreakpoints) {
+  AvailabilityProfile p(10);
+  p.add({10.0, 20.0, 5});
+  auto samples = p.sample_available(0.0, 30.0, 10.0);
+  EXPECT_EQ(samples, (std::vector<double>{10.0, 5.0, 10.0}));
+  auto bps = p.breakpoints();
+  EXPECT_EQ(bps, (std::vector<double>{10.0, 20.0}));
+}
+
+TEST(HistoricalAverage, RoundsAndClamps) {
+  AvailabilityProfile p(10);
+  p.add({-100.0, 0.0, 5});
+  EXPECT_EQ(resv::historical_average_available(p, 0.0, 100.0), 5);
+  AvailabilityProfile full(10);
+  for (int i = 0; i < 3; ++i) full.add({-100.0, 0.0, 4});
+  // 12 reserved on 10 processors: clamped to at least 1 available.
+  EXPECT_EQ(resv::historical_average_available(full, 0.0, 100.0), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: randomized calendars cross-checked against a brute-force
+// reference that evaluates candidate start times on a fine grid.
+
+class FitProperty : public ::testing::TestWithParam<int> {};
+
+struct BruteForce {
+  const AvailabilityProfile& p;
+  bool feasible(int procs, double t, double dur) const {
+    // Sample availability densely inside [t, t + dur); segments are integer-
+    // aligned in these tests so a 0.25 grid catches every segment.
+    for (double s = t; s < t + dur; s += 0.25)
+      if (p.available_at(s) < procs) return false;
+    return true;
+  }
+};
+
+TEST_P(FitProperty, EarliestAndLatestMatchBruteForce) {
+  util::Rng rng(1000 + GetParam());
+  const int capacity = 6;
+  AvailabilityProfile p(capacity);
+  int n_res = static_cast<int>(rng.uniform_int(0, 12));
+  for (int i = 0; i < n_res; ++i) {
+    double start = static_cast<double>(rng.uniform_int(0, 60));
+    double dur = static_cast<double>(rng.uniform_int(1, 20));
+    p.add({start, start + dur, static_cast<int>(rng.uniform_int(1, 4))});
+  }
+  BruteForce ref{p};
+
+  for (int query = 0; query < 20; ++query) {
+    int procs = static_cast<int>(rng.uniform_int(1, capacity));
+    double dur = static_cast<double>(rng.uniform_int(1, 12));
+    double not_before = static_cast<double>(rng.uniform_int(0, 40));
+
+    // earliest_fit: feasible, not before the bound, and no integer-grid
+    // start strictly earlier is feasible.
+    auto earliest = p.earliest_fit(procs, dur, not_before);
+    ASSERT_TRUE(earliest.has_value());
+    EXPECT_GE(*earliest, not_before);
+    EXPECT_TRUE(ref.feasible(procs, *earliest, dur));
+    for (double t = not_before; t < *earliest - 1e-9; t += 0.25)
+      EXPECT_FALSE(ref.feasible(procs, t, dur))
+          << "earlier start " << t << " was feasible (got " << *earliest
+          << ")";
+
+    // latest_fit against a deadline past the horizon.
+    double deadline = not_before + dur +
+                      static_cast<double>(rng.uniform_int(0, 80));
+    auto latest = p.latest_fit(procs, dur, deadline, not_before);
+    if (latest) {
+      EXPECT_GE(*latest, not_before);
+      EXPECT_LE(*latest + dur, deadline + 1e-9);
+      EXPECT_TRUE(ref.feasible(procs, *latest, dur));
+      for (double t = *latest + 0.25; t + dur <= deadline + 1e-9; t += 0.25)
+        EXPECT_FALSE(ref.feasible(procs, t, dur))
+            << "later start " << t << " was feasible (got " << *latest << ")";
+    } else {
+      for (double t = not_before; t + dur <= deadline + 1e-9; t += 0.25)
+        EXPECT_FALSE(ref.feasible(procs, t, dur))
+            << "latest_fit missed feasible start " << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCalendars, FitProperty,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+
+namespace {
+
+TEST(ProfileConsistency, MinAverageAndPointQueriesAgree) {
+  util::Rng rng(2024);
+  for (int trial = 0; trial < 10; ++trial) {
+    AvailabilityProfile p(12);
+    int n_res = static_cast<int>(rng.uniform_int(0, 15));
+    for (int i = 0; i < n_res; ++i) {
+      double start = static_cast<double>(rng.uniform_int(0, 50));
+      double dur = static_cast<double>(rng.uniform_int(1, 15));
+      p.add({start, start + dur, static_cast<int>(rng.uniform_int(1, 6))});
+    }
+    // On integer-aligned calendars, sampling at half-integers visits every
+    // segment; min/average over a window must agree with the point samples.
+    double from = static_cast<double>(rng.uniform_int(0, 30));
+    double to = from + static_cast<double>(rng.uniform_int(2, 30));
+    int sampled_min = p.capacity();
+    double sampled_sum = 0.0;
+    int count = 0;
+    for (double t = from + 0.5; t < to; t += 1.0) {
+      int a = p.available_at(t);
+      sampled_min = std::min(sampled_min, a);
+      sampled_sum += a;
+      ++count;
+    }
+    EXPECT_EQ(p.min_available(from, to), sampled_min);
+    EXPECT_NEAR(p.average_available(from, to), sampled_sum / count, 1e-9);
+  }
+}
+
+TEST(ProfileConsistency, CommittedFitNeverBreaksCapacity) {
+  // Repeatedly take earliest fits and commit them; the profile must accept
+  // each one (i.e., fits returned are always actually free).
+  util::Rng rng(2025);
+  AvailabilityProfile p(8);
+  for (int i = 0; i < 6; ++i) {
+    double start = static_cast<double>(rng.uniform_int(0, 40));
+    p.add({start, start + static_cast<double>(rng.uniform_int(1, 10)),
+           static_cast<int>(rng.uniform_int(1, 5))});
+  }
+  for (int i = 0; i < 50; ++i) {
+    int procs = static_cast<int>(rng.uniform_int(1, 8));
+    double dur = static_cast<double>(rng.uniform_int(1, 8));
+    double nb = static_cast<double>(rng.uniform_int(0, 60));
+    auto fit = p.earliest_fit(procs, dur, nb);
+    ASSERT_TRUE(fit.has_value());
+    EXPECT_GE(p.min_available(*fit, *fit + dur), procs);
+    p.add({*fit, *fit + dur, procs});
+  }
+}
+
+TEST(LatestFit, DegenerateWindows) {
+  AvailabilityProfile p(4);
+  // Deadline before not_before: impossible.
+  EXPECT_FALSE(p.latest_fit(1, 5.0, 10.0, 20.0).has_value());
+  // Window exactly equal to the duration.
+  auto fit = p.latest_fit(1, 10.0, 20.0, 10.0);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_DOUBLE_EQ(*fit, 10.0);
+}
+
+TEST(EarliestFit, StartsInsideLongFreeSegmentAfterBusyPrefix) {
+  AvailabilityProfile p(4);
+  p.add({0.0, 100.0, 4});
+  // not_before far beyond every breakpoint.
+  auto fit = p.earliest_fit(4, 5.0, 1000.0);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_DOUBLE_EQ(*fit, 1000.0);
+}
+
+}  // namespace

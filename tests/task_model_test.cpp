@@ -1,0 +1,87 @@
+// Unit and property tests for the Amdahl's-law task model (paper §3.1).
+#include <gtest/gtest.h>
+
+#include "src/dag/task_model.hpp"
+#include "src/util/error.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace resched;
+using dag::TaskCost;
+
+TEST(TaskModel, SequentialExecutionEqualsSeqTime) {
+  TaskCost c{100.0, 0.3};
+  EXPECT_DOUBLE_EQ(dag::exec_time(c, 1), 100.0);
+}
+
+TEST(TaskModel, PerfectSpeedupWhenFullyParallel) {
+  TaskCost c{100.0, 0.0};
+  EXPECT_DOUBLE_EQ(dag::exec_time(c, 4), 25.0);
+  EXPECT_DOUBLE_EQ(dag::work(c, 4), 100.0);
+  EXPECT_DOUBLE_EQ(dag::efficiency(c, 4), 1.0);
+}
+
+TEST(TaskModel, FullySerialTaskIgnoresProcessors) {
+  TaskCost c{100.0, 1.0};
+  EXPECT_DOUBLE_EQ(dag::exec_time(c, 64), 100.0);
+  EXPECT_DOUBLE_EQ(dag::work(c, 64), 6400.0);
+}
+
+TEST(TaskModel, AmdahlClosedForm) {
+  TaskCost c{100.0, 0.2};
+  EXPECT_DOUBLE_EQ(dag::exec_time(c, 4), 100.0 * (0.2 + 0.8 / 4.0));
+  EXPECT_DOUBLE_EQ(dag::exec_time(c, 100), 100.0 * (0.2 + 0.8 / 100.0));
+}
+
+TEST(TaskModel, AsymptoteIsSerialFraction) {
+  TaskCost c{100.0, 0.25};
+  EXPECT_NEAR(dag::exec_time(c, 1000000), 25.0, 0.01);
+}
+
+TEST(TaskModel, RejectsNonPositiveProcessorCount) {
+  TaskCost c{10.0, 0.1};
+  EXPECT_THROW(dag::exec_time(c, 0), resched::Error);
+  EXPECT_THROW(dag::exec_time(c, -1), resched::Error);
+}
+
+class TaskModelProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(TaskModelProperty, ExecStrictlyDecreasingWorkStrictlyIncreasing) {
+  double alpha = GetParam();
+  TaskCost c{3600.0, alpha};
+  for (int np = 1; np < 256; ++np) {
+    if (alpha < 1.0) {
+      EXPECT_GT(dag::exec_time(c, np), dag::exec_time(c, np + 1));
+    } else {
+      EXPECT_DOUBLE_EQ(dag::exec_time(c, np), dag::exec_time(c, np + 1));
+    }
+    if (alpha > 0.0) {
+      EXPECT_LT(dag::work(c, np), dag::work(c, np + 1));
+    } else {
+      EXPECT_DOUBLE_EQ(dag::work(c, np), dag::work(c, np + 1));
+    }
+    EXPECT_LE(dag::efficiency(c, np + 1), dag::efficiency(c, np) + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AlphaSweep, TaskModelProperty,
+                         ::testing::Values(0.0, 0.05, 0.10, 0.15, 0.20, 0.5,
+                                           1.0));
+
+TEST(TaskModel, RandomizedDiminishingReturns) {
+  // The marginal gain of one extra processor shrinks with np: the property
+  // the CPA gain rule relies on.
+  util::Rng rng(4);
+  for (int trial = 0; trial < 200; ++trial) {
+    TaskCost c{rng.uniform(60.0, 36000.0), rng.uniform(0.0, 0.2)};
+    double prev_gain = dag::exec_time(c, 1) - dag::exec_time(c, 2);
+    for (int np = 2; np < 64; ++np) {
+      double gain = dag::exec_time(c, np) - dag::exec_time(c, np + 1);
+      EXPECT_LE(gain, prev_gain + 1e-9);
+      prev_gain = gain;
+    }
+  }
+}
+
+}  // namespace

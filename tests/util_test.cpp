@@ -1,0 +1,259 @@
+// Unit tests for src/util: deterministic RNG streams, distributions,
+// streaming statistics, and environment helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <set>
+#include <vector>
+
+#include "src/util/env.hpp"
+#include "src/util/error.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/stats.hpp"
+
+namespace {
+
+using namespace resched::util;
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(DeriveSeed, OrderSensitive) {
+  EXPECT_NE(derive_seed(7, {1, 2}), derive_seed(7, {2, 1}));
+}
+
+TEST(DeriveSeed, TagSensitive) {
+  EXPECT_NE(derive_seed(7, {1}), derive_seed(7, {2}));
+  EXPECT_NE(derive_seed(7, {1}), derive_seed(8, {1}));
+}
+
+TEST(DeriveSeed, LengthSensitive) {
+  EXPECT_NE(derive_seed(7, {1}), derive_seed(7, {1, 0}));
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(10);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanApproximatelyCentered) {
+  Rng rng(11);
+  Accumulator acc;
+  for (int i = 0; i < 200000; ++i) acc.add(rng.uniform());
+  EXPECT_NEAR(acc.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversAllValuesInclusive) {
+  Rng rng(12);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(3, 7));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 3);
+  EXPECT_EQ(*seen.rbegin(), 7);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(13);
+  EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, UniformIntRejectsBadRange) {
+  Rng rng(14);
+  EXPECT_THROW(rng.uniform_int(5, 4), resched::Error);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(15);
+  Accumulator acc;
+  for (int i = 0; i < 200000; ++i) acc.add(rng.exponential(3.0));
+  EXPECT_NEAR(acc.mean(), 3.0, 0.05);
+}
+
+TEST(Rng, ExponentialIsNonNegative) {
+  Rng rng(16);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.exponential(1.0), 0.0);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  Accumulator acc;
+  for (int i = 0; i < 200000; ++i) acc.add(rng.normal(2.0, 0.5));
+  EXPECT_NEAR(acc.mean(), 2.0, 0.01);
+  EXPECT_NEAR(acc.stddev(), 0.5, 0.01);
+}
+
+TEST(Rng, LognormalMeanMatchesClosedForm) {
+  Rng rng(18);
+  Accumulator acc;
+  double mu = 0.3, sigma = 0.8;
+  for (int i = 0; i < 400000; ++i) acc.add(rng.lognormal(mu, sigma));
+  EXPECT_NEAR(acc.mean(), std::exp(mu + sigma * sigma / 2.0), 0.03);
+}
+
+TEST(Rng, BernoulliEdgesAndRate) {
+  Rng rng(19);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(20);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto sample = rng.sample_without_replacement(20, 7);
+    std::set<int> set(sample.begin(), sample.end());
+    EXPECT_EQ(set.size(), 7u);
+    for (int v : sample) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 20);
+    }
+  }
+}
+
+TEST(Rng, SampleWholePopulation) {
+  Rng rng(21);
+  auto sample = rng.sample_without_replacement(5, 5);
+  std::set<int> set(sample.begin(), sample.end());
+  EXPECT_EQ(set.size(), 5u);
+}
+
+TEST(Rng, SampleRejectsOversizedRequest) {
+  Rng rng(22);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), resched::Error);
+}
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator acc;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 4u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+  EXPECT_NEAR(acc.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 10.0);
+}
+
+TEST(Accumulator, EmptyBehaviour) {
+  Accumulator acc;
+  EXPECT_TRUE(acc.empty());
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_THROW(acc.min(), resched::Error);
+}
+
+TEST(Accumulator, MergeMatchesSequential) {
+  Accumulator whole, left, right;
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.uniform(-5, 5);
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Accumulator, MergeWithEmpty) {
+  Accumulator a, b;
+  a.add(1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(Accumulator, CvOfConstantIsZero) {
+  Accumulator acc;
+  acc.add(2.0);
+  acc.add(2.0);
+  EXPECT_DOUBLE_EQ(acc.cv(), 0.0);
+}
+
+TEST(Stats, MeanAndStddev) {
+  std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  std::vector<double> xs{1, 2, 3, 4, 5}, ys{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  std::vector<double> neg{10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonDegenerateCases) {
+  std::vector<double> xs{1, 2, 3}, constant{5, 5, 5}, shorter{1, 2};
+  EXPECT_EQ(pearson(xs, constant), 0.0);
+  EXPECT_EQ(pearson(xs, shorter), 0.0);
+  EXPECT_EQ(pearson({}, {}), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 25.0);
+}
+
+TEST(Stats, PercentileValidatesInput) {
+  EXPECT_THROW(percentile({}, 0.5), resched::Error);
+  std::vector<double> xs{1.0};
+  EXPECT_THROW(percentile(xs, 1.5), resched::Error);
+}
+
+TEST(Env, FallbacksAndParsing) {
+  unsetenv("RESCHED_TEST_VAR");
+  EXPECT_DOUBLE_EQ(env_double("RESCHED_TEST_VAR", 2.5), 2.5);
+  setenv("RESCHED_TEST_VAR", "7.25", 1);
+  EXPECT_DOUBLE_EQ(env_double("RESCHED_TEST_VAR", 2.5), 7.25);
+  EXPECT_EQ(env_int("RESCHED_TEST_VAR", 1), 7);
+  setenv("RESCHED_TEST_VAR", "garbage", 1);
+  EXPECT_DOUBLE_EQ(env_double("RESCHED_TEST_VAR", 2.5), 2.5);
+  unsetenv("RESCHED_TEST_VAR");
+}
+
+TEST(Error, CheckMacroThrowsWithContext) {
+  try {
+    RESCHED_CHECK(false, "context message");
+    FAIL() << "expected throw";
+  } catch (const resched::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("context message"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
