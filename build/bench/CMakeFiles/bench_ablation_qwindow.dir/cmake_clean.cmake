@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_qwindow.dir/bench_ablation_qwindow.cpp.o"
+  "CMakeFiles/bench_ablation_qwindow.dir/bench_ablation_qwindow.cpp.o.d"
+  "bench_ablation_qwindow"
+  "bench_ablation_qwindow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_qwindow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

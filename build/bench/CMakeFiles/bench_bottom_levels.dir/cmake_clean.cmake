@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bottom_levels.dir/bench_bottom_levels.cpp.o"
+  "CMakeFiles/bench_bottom_levels.dir/bench_bottom_levels.cpp.o.d"
+  "bench_bottom_levels"
+  "bench_bottom_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bottom_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_blind.dir/bench_ext_blind.cpp.o"
+  "CMakeFiles/bench_ext_blind.dir/bench_ext_blind.cpp.o.d"
+  "bench_ext_blind"
+  "bench_ext_blind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_blind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_dynamic.dir/bench_ext_dynamic.cpp.o"
+  "CMakeFiles/bench_ext_dynamic.dir/bench_ext_dynamic.cpp.o.d"
+  "bench_ext_dynamic"
+  "bench_ext_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

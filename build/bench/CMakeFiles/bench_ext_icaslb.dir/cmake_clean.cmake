@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_icaslb.dir/bench_ext_icaslb.cpp.o"
+  "CMakeFiles/bench_ext_icaslb.dir/bench_ext_icaslb.cpp.o.d"
+  "bench_ext_icaslb"
+  "bench_ext_icaslb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_icaslb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

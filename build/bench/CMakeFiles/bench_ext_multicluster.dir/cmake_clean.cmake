@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_multicluster.dir/bench_ext_multicluster.cpp.o"
+  "CMakeFiles/bench_ext_multicluster.dir/bench_ext_multicluster.cpp.o.d"
+  "bench_ext_multicluster"
+  "bench_ext_multicluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multicluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_pessimism.dir/bench_ext_pessimism.cpp.o"
+  "CMakeFiles/bench_ext_pessimism.dir/bench_ext_pessimism.cpp.o.d"
+  "bench_ext_pessimism"
+  "bench_ext_pessimism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_pessimism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_resv_correlation.dir/bench_resv_correlation.cpp.o"
+  "CMakeFiles/bench_resv_correlation.dir/bench_resv_correlation.cpp.o.d"
+  "bench_resv_correlation"
+  "bench_resv_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_resv_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_logs.dir/bench_table2_logs.cpp.o"
+  "CMakeFiles/bench_table2_logs.dir/bench_table2_logs.cpp.o.d"
+  "bench_table2_logs"
+  "bench_table2_logs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_logs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

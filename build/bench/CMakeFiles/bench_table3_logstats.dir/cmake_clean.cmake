@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_logstats.dir/bench_table3_logstats.cpp.o"
+  "CMakeFiles/bench_table3_logstats.dir/bench_table3_logstats.cpp.o.d"
+  "bench_table3_logstats"
+  "bench_table3_logstats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_logstats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_ressched.dir/bench_table4_ressched.cpp.o"
+  "CMakeFiles/bench_table4_ressched.dir/bench_table4_ressched.cpp.o.d"
+  "bench_table4_ressched"
+  "bench_table4_ressched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_ressched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

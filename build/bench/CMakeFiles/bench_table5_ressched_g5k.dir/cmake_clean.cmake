@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_ressched_g5k.dir/bench_table5_ressched_g5k.cpp.o"
+  "CMakeFiles/bench_table5_ressched_g5k.dir/bench_table5_ressched_g5k.cpp.o.d"
+  "bench_table5_ressched_g5k"
+  "bench_table5_ressched_g5k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_ressched_g5k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

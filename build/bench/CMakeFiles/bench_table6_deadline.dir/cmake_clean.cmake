@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_deadline.dir/bench_table6_deadline.cpp.o"
+  "CMakeFiles/bench_table6_deadline.dir/bench_table6_deadline.cpp.o.d"
+  "bench_table6_deadline"
+  "bench_table6_deadline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_deadline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

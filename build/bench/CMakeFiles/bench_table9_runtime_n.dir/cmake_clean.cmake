@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_runtime_n.dir/bench_table9_runtime_n.cpp.o"
+  "CMakeFiles/bench_table9_runtime_n.dir/bench_table9_runtime_n.cpp.o.d"
+  "bench_table9_runtime_n"
+  "bench_table9_runtime_n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_runtime_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadline_campaign.dir/deadline_campaign.cpp.o"
+  "CMakeFiles/deadline_campaign.dir/deadline_campaign.cpp.o.d"
+  "deadline_campaign"
+  "deadline_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadline_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

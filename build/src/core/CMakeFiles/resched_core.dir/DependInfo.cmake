@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/algorithms.cpp" "src/core/CMakeFiles/resched_core.dir/algorithms.cpp.o" "gcc" "src/core/CMakeFiles/resched_core.dir/algorithms.cpp.o.d"
+  "/root/repo/src/core/blind_ressched.cpp" "src/core/CMakeFiles/resched_core.dir/blind_ressched.cpp.o" "gcc" "src/core/CMakeFiles/resched_core.dir/blind_ressched.cpp.o.d"
+  "/root/repo/src/core/dynamic.cpp" "src/core/CMakeFiles/resched_core.dir/dynamic.cpp.o" "gcc" "src/core/CMakeFiles/resched_core.dir/dynamic.cpp.o.d"
+  "/root/repo/src/core/pessimism.cpp" "src/core/CMakeFiles/resched_core.dir/pessimism.cpp.o" "gcc" "src/core/CMakeFiles/resched_core.dir/pessimism.cpp.o.d"
+  "/root/repo/src/core/ressched.cpp" "src/core/CMakeFiles/resched_core.dir/ressched.cpp.o" "gcc" "src/core/CMakeFiles/resched_core.dir/ressched.cpp.o.d"
+  "/root/repo/src/core/resscheddl.cpp" "src/core/CMakeFiles/resched_core.dir/resscheddl.cpp.o" "gcc" "src/core/CMakeFiles/resched_core.dir/resscheddl.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/core/CMakeFiles/resched_core.dir/schedule.cpp.o" "gcc" "src/core/CMakeFiles/resched_core.dir/schedule.cpp.o.d"
+  "/root/repo/src/core/tightest_deadline.cpp" "src/core/CMakeFiles/resched_core.dir/tightest_deadline.cpp.o" "gcc" "src/core/CMakeFiles/resched_core.dir/tightest_deadline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dag/CMakeFiles/resched_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/resv/CMakeFiles/resched_resv.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpa/CMakeFiles/resched_cpa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/resched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

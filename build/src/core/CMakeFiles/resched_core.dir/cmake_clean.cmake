@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resched_core.dir/algorithms.cpp.o"
+  "CMakeFiles/resched_core.dir/algorithms.cpp.o.d"
+  "CMakeFiles/resched_core.dir/blind_ressched.cpp.o"
+  "CMakeFiles/resched_core.dir/blind_ressched.cpp.o.d"
+  "CMakeFiles/resched_core.dir/dynamic.cpp.o"
+  "CMakeFiles/resched_core.dir/dynamic.cpp.o.d"
+  "CMakeFiles/resched_core.dir/pessimism.cpp.o"
+  "CMakeFiles/resched_core.dir/pessimism.cpp.o.d"
+  "CMakeFiles/resched_core.dir/ressched.cpp.o"
+  "CMakeFiles/resched_core.dir/ressched.cpp.o.d"
+  "CMakeFiles/resched_core.dir/resscheddl.cpp.o"
+  "CMakeFiles/resched_core.dir/resscheddl.cpp.o.d"
+  "CMakeFiles/resched_core.dir/schedule.cpp.o"
+  "CMakeFiles/resched_core.dir/schedule.cpp.o.d"
+  "CMakeFiles/resched_core.dir/tightest_deadline.cpp.o"
+  "CMakeFiles/resched_core.dir/tightest_deadline.cpp.o.d"
+  "libresched_core.a"
+  "libresched_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resched_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

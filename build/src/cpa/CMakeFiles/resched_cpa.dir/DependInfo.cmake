@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpa/cpa.cpp" "src/cpa/CMakeFiles/resched_cpa.dir/cpa.cpp.o" "gcc" "src/cpa/CMakeFiles/resched_cpa.dir/cpa.cpp.o.d"
+  "/root/repo/src/cpa/list_schedule.cpp" "src/cpa/CMakeFiles/resched_cpa.dir/list_schedule.cpp.o" "gcc" "src/cpa/CMakeFiles/resched_cpa.dir/list_schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dag/CMakeFiles/resched_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/resched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resched_cpa.dir/cpa.cpp.o"
+  "CMakeFiles/resched_cpa.dir/cpa.cpp.o.d"
+  "CMakeFiles/resched_cpa.dir/list_schedule.cpp.o"
+  "CMakeFiles/resched_cpa.dir/list_schedule.cpp.o.d"
+  "libresched_cpa.a"
+  "libresched_cpa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resched_cpa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

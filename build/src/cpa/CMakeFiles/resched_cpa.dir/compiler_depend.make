@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for resched_cpa.
+# This may be replaced when dependencies are built.

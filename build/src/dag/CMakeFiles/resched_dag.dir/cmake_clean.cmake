@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resched_dag.dir/dag.cpp.o"
+  "CMakeFiles/resched_dag.dir/dag.cpp.o.d"
+  "CMakeFiles/resched_dag.dir/daggen.cpp.o"
+  "CMakeFiles/resched_dag.dir/daggen.cpp.o.d"
+  "CMakeFiles/resched_dag.dir/dot.cpp.o"
+  "CMakeFiles/resched_dag.dir/dot.cpp.o.d"
+  "libresched_dag.a"
+  "libresched_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resched_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libresched_dag.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/icaslb/icaslb.cpp" "src/icaslb/CMakeFiles/resched_icaslb.dir/icaslb.cpp.o" "gcc" "src/icaslb/CMakeFiles/resched_icaslb.dir/icaslb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/resched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/resched_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/resv/CMakeFiles/resched_resv.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/resched_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpa/CMakeFiles/resched_cpa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

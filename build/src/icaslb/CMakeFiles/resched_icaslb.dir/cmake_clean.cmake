@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resched_icaslb.dir/icaslb.cpp.o"
+  "CMakeFiles/resched_icaslb.dir/icaslb.cpp.o.d"
+  "libresched_icaslb.a"
+  "libresched_icaslb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resched_icaslb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

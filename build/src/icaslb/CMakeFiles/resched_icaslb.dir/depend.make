@@ -1,0 +1,2 @@
+# Empty dependencies file for resched_icaslb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resched_multi.dir/deadline_multi.cpp.o"
+  "CMakeFiles/resched_multi.dir/deadline_multi.cpp.o.d"
+  "CMakeFiles/resched_multi.dir/ressched_multi.cpp.o"
+  "CMakeFiles/resched_multi.dir/ressched_multi.cpp.o.d"
+  "libresched_multi.a"
+  "libresched_multi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resched_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resv/batch_scheduler.cpp" "src/resv/CMakeFiles/resched_resv.dir/batch_scheduler.cpp.o" "gcc" "src/resv/CMakeFiles/resched_resv.dir/batch_scheduler.cpp.o.d"
+  "/root/repo/src/resv/profile.cpp" "src/resv/CMakeFiles/resched_resv.dir/profile.cpp.o" "gcc" "src/resv/CMakeFiles/resched_resv.dir/profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/resched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

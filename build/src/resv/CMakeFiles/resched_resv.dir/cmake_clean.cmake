@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resched_resv.dir/batch_scheduler.cpp.o"
+  "CMakeFiles/resched_resv.dir/batch_scheduler.cpp.o.d"
+  "CMakeFiles/resched_resv.dir/profile.cpp.o"
+  "CMakeFiles/resched_resv.dir/profile.cpp.o.d"
+  "libresched_resv.a"
+  "libresched_resv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resched_resv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for resched_resv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/experiment.cpp" "src/sim/CMakeFiles/resched_sim.dir/experiment.cpp.o" "gcc" "src/sim/CMakeFiles/resched_sim.dir/experiment.cpp.o.d"
+  "/root/repo/src/sim/gantt.cpp" "src/sim/CMakeFiles/resched_sim.dir/gantt.cpp.o" "gcc" "src/sim/CMakeFiles/resched_sim.dir/gantt.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/sim/CMakeFiles/resched_sim.dir/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/resched_sim.dir/metrics.cpp.o.d"
+  "/root/repo/src/sim/runner.cpp" "src/sim/CMakeFiles/resched_sim.dir/runner.cpp.o" "gcc" "src/sim/CMakeFiles/resched_sim.dir/runner.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/sim/CMakeFiles/resched_sim.dir/scenario.cpp.o" "gcc" "src/sim/CMakeFiles/resched_sim.dir/scenario.cpp.o.d"
+  "/root/repo/src/sim/table.cpp" "src/sim/CMakeFiles/resched_sim.dir/table.cpp.o" "gcc" "src/sim/CMakeFiles/resched_sim.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/resched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/resched_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpa/CMakeFiles/resched_cpa.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/resched_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/resv/CMakeFiles/resched_resv.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/resched_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

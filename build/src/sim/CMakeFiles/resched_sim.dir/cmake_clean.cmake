@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resched_sim.dir/experiment.cpp.o"
+  "CMakeFiles/resched_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/resched_sim.dir/gantt.cpp.o"
+  "CMakeFiles/resched_sim.dir/gantt.cpp.o.d"
+  "CMakeFiles/resched_sim.dir/metrics.cpp.o"
+  "CMakeFiles/resched_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/resched_sim.dir/runner.cpp.o"
+  "CMakeFiles/resched_sim.dir/runner.cpp.o.d"
+  "CMakeFiles/resched_sim.dir/scenario.cpp.o"
+  "CMakeFiles/resched_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/resched_sim.dir/table.cpp.o"
+  "CMakeFiles/resched_sim.dir/table.cpp.o.d"
+  "libresched_sim.a"
+  "libresched_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resched_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resched_util.dir/env.cpp.o"
+  "CMakeFiles/resched_util.dir/env.cpp.o.d"
+  "CMakeFiles/resched_util.dir/rng.cpp.o"
+  "CMakeFiles/resched_util.dir/rng.cpp.o.d"
+  "CMakeFiles/resched_util.dir/stats.cpp.o"
+  "CMakeFiles/resched_util.dir/stats.cpp.o.d"
+  "libresched_util.a"
+  "libresched_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resched_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/stats.cpp" "src/workload/CMakeFiles/resched_workload.dir/stats.cpp.o" "gcc" "src/workload/CMakeFiles/resched_workload.dir/stats.cpp.o.d"
+  "/root/repo/src/workload/swf.cpp" "src/workload/CMakeFiles/resched_workload.dir/swf.cpp.o" "gcc" "src/workload/CMakeFiles/resched_workload.dir/swf.cpp.o.d"
+  "/root/repo/src/workload/synth.cpp" "src/workload/CMakeFiles/resched_workload.dir/synth.cpp.o" "gcc" "src/workload/CMakeFiles/resched_workload.dir/synth.cpp.o.d"
+  "/root/repo/src/workload/tagging.cpp" "src/workload/CMakeFiles/resched_workload.dir/tagging.cpp.o" "gcc" "src/workload/CMakeFiles/resched_workload.dir/tagging.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/resched_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/resv/CMakeFiles/resched_resv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resched_workload.dir/stats.cpp.o"
+  "CMakeFiles/resched_workload.dir/stats.cpp.o.d"
+  "CMakeFiles/resched_workload.dir/swf.cpp.o"
+  "CMakeFiles/resched_workload.dir/swf.cpp.o.d"
+  "CMakeFiles/resched_workload.dir/synth.cpp.o"
+  "CMakeFiles/resched_workload.dir/synth.cpp.o.d"
+  "CMakeFiles/resched_workload.dir/tagging.cpp.o"
+  "CMakeFiles/resched_workload.dir/tagging.cpp.o.d"
+  "libresched_workload.a"
+  "libresched_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resched_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_ressched_test.dir/core_ressched_test.cpp.o"
+  "CMakeFiles/core_ressched_test.dir/core_ressched_test.cpp.o.d"
+  "core_ressched_test"
+  "core_ressched_test.pdb"
+  "core_ressched_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_ressched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpa_test.dir/cpa_test.cpp.o"
+  "CMakeFiles/cpa_test.dir/cpa_test.cpp.o.d"
+  "cpa_test"
+  "cpa_test.pdb"
+  "cpa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daggen_test.dir/daggen_test.cpp.o"
+  "CMakeFiles/daggen_test.dir/daggen_test.cpp.o.d"
+  "daggen_test"
+  "daggen_test.pdb"
+  "daggen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daggen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icaslb_test.dir/icaslb_test.cpp.o"
+  "CMakeFiles/icaslb_test.dir/icaslb_test.cpp.o.d"
+  "icaslb_test"
+  "icaslb_test.pdb"
+  "icaslb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icaslb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_deadline_test.dir/multi_deadline_test.cpp.o"
+  "CMakeFiles/multi_deadline_test.dir/multi_deadline_test.cpp.o.d"
+  "multi_deadline_test"
+  "multi_deadline_test.pdb"
+  "multi_deadline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_deadline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resv_test.dir/resv_test.cpp.o"
+  "CMakeFiles/resv_test.dir/resv_test.cpp.o.d"
+  "resv_test"
+  "resv_test.pdb"
+  "resv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

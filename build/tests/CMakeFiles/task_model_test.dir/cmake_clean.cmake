@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_model_test.dir/task_model_test.cpp.o"
+  "CMakeFiles/task_model_test.dir/task_model_test.cpp.o.d"
+  "task_model_test"
+  "task_model_test.pdb"
+  "task_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
