@@ -1,0 +1,36 @@
+#include "src/online/event_queue.hpp"
+
+#include "src/util/error.hpp"
+
+namespace resched::online {
+
+const char* to_string(EventType type) {
+  switch (type) {
+    case EventType::kSubmission: return "submit";
+    case EventType::kReservationStart: return "resv_start";
+    case EventType::kReservationEnd: return "resv_end";
+    case EventType::kTaskCompletion: return "task_done";
+  }
+  return "?";
+}
+
+std::uint64_t EventQueue::push(Event e) {
+  RESCHED_CHECK(e.time == e.time, "event time must not be NaN");
+  e.seq = next_seq_++;
+  heap_.push(e);
+  return e.seq;
+}
+
+const Event& EventQueue::peek() const {
+  RESCHED_CHECK(!heap_.empty(), "peek on an empty event queue");
+  return heap_.top();
+}
+
+Event EventQueue::pop() {
+  RESCHED_CHECK(!heap_.empty(), "pop on an empty event queue");
+  Event e = heap_.top();
+  heap_.pop();
+  return e;
+}
+
+}  // namespace resched::online

@@ -1,0 +1,69 @@
+// Deterministic discrete-event queue for the online scheduling engine.
+//
+// The online mode (DESIGN.md "Online mode") turns the offline evaluator
+// into a long-running service: DAG submissions and external advance
+// reservations arrive as a time-ordered stream, and the engine reacts to
+// four event kinds — submission, reservation start, reservation end, and
+// task completion. Correct replay demands *total* determinism, so ties in
+// event time are broken by a monotonically increasing sequence number
+// assigned at push time: events at the same instant are processed strictly
+// FIFO, independent of heap internals, platform, or build flags.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace resched::online {
+
+enum class EventType {
+  kSubmission,        ///< a DAG application (or external AR) arrives
+  kReservationStart,  ///< a committed reservation begins holding processors
+  kReservationEnd,    ///< an external reservation releases its processors
+  kTaskCompletion,    ///< a task reservation ends; the task is finished
+};
+
+const char* to_string(EventType type);
+
+/// One engine event. `seq` is assigned by EventQueue::push and identifies
+/// the event uniquely within one engine run.
+struct Event {
+  double time = 0.0;
+  EventType type = EventType::kSubmission;
+  int job = -1;    ///< job id; -1 for external reservation events
+  int task = -1;   ///< task id within the job; -1 otherwise
+  int procs = 0;   ///< processors involved (reservation events)
+  std::uint64_t seq = 0;
+};
+
+/// Time-ordered min-heap of events with stable FIFO tie-breaking by `seq`.
+class EventQueue {
+ public:
+  /// Enqueues the event, assigning the next sequence number; returns it.
+  std::uint64_t push(Event e);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// The earliest event (ties: lowest seq). Queue must be non-empty.
+  const Event& peek() const;
+
+  /// Removes and returns the earliest event. Queue must be non-empty.
+  Event pop();
+
+  /// Sequence number the next push will receive.
+  std::uint64_t next_seq() const { return next_seq_; }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace resched::online

@@ -1,0 +1,107 @@
+#include "src/online/online_metrics.hpp"
+
+#include <limits>
+#include <numeric>
+
+#include "src/util/error.hpp"
+
+namespace resched::online {
+
+namespace {
+
+double mean_of(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return std::accumulate(v.begin(), v.end(), 0.0) /
+         static_cast<double>(v.size());
+}
+
+}  // namespace
+
+const char* to_string(Decision decision) {
+  switch (decision) {
+    case Decision::kAccepted: return "accept";
+    case Decision::kCounterOffered: return "counter_offer";
+    case Decision::kRejected: return "reject";
+  }
+  return "?";
+}
+
+OnlineMetrics::OnlineMetrics(int capacity) : capacity_(capacity) {
+  RESCHED_CHECK(capacity >= 1, "metrics need a positive platform capacity");
+}
+
+void OnlineMetrics::record_decision(Decision decision) {
+  ++submitted_;
+  switch (decision) {
+    case Decision::kAccepted: ++accepted_; break;
+    case Decision::kCounterOffered: ++counter_offered_; break;
+    case Decision::kRejected: ++rejected_; break;
+  }
+}
+
+void OnlineMetrics::record_completion(double submit, double first_start,
+                                      double finish, double cpu_hours) {
+  RESCHED_CHECK(first_start >= submit, "job cannot start before submission");
+  RESCHED_CHECK(finish > first_start, "job must finish after it starts");
+  turnaround_.push_back(finish - submit);
+  wait_.push_back(first_start - submit);
+  stretch_.push_back((finish - submit) / (finish - first_start));
+  total_cpu_hours_ += cpu_hours;
+}
+
+void OnlineMetrics::record_usage(double time, int used) {
+  RESCHED_CHECK(used >= 0, "busy processor count cannot be negative");
+  RESCHED_CHECK(timeline_.empty() || time >= timeline_.back().time,
+                "usage must be recorded in non-decreasing time order");
+  if (!timeline_.empty() && timeline_.back().time == time) {
+    timeline_.back().used = used;  // several events at one instant: last wins
+    return;
+  }
+  timeline_.push_back({time, used});
+}
+
+double OnlineMetrics::acceptance_rate() const {
+  if (submitted_ == 0) return 1.0;
+  return static_cast<double>(accepted_ + counter_offered_) /
+         static_cast<double>(submitted_);
+}
+
+double OnlineMetrics::mean_turnaround() const { return mean_of(turnaround_); }
+double OnlineMetrics::mean_wait() const { return mean_of(wait_); }
+double OnlineMetrics::mean_stretch() const { return mean_of(stretch_); }
+
+double OnlineMetrics::utilization(double from, double to) const {
+  RESCHED_CHECK(from < to, "utilization requires from < to");
+  double busy_integral = 0.0;
+  for (std::size_t i = 0; i < timeline_.size(); ++i) {
+    double seg_start = std::max(timeline_[i].time, from);
+    double seg_end = i + 1 < timeline_.size()
+                         ? std::min(timeline_[i + 1].time, to)
+                         : to;
+    if (seg_end <= seg_start) continue;
+    if (seg_start >= to) break;
+    busy_integral += static_cast<double>(timeline_[i].used) *
+                     (seg_end - seg_start);
+  }
+  return busy_integral / (static_cast<double>(capacity_) * (to - from));
+}
+
+sim::TextTable OnlineMetrics::summary_table() const {
+  sim::TextTable table({"metric", "value"});
+  auto row = [&table](const char* name, const std::string& value) {
+    table.add_row({name, value});
+  };
+  row("submitted", std::to_string(submitted_));
+  row("accepted", std::to_string(accepted_));
+  row("counter-offered", std::to_string(counter_offered_));
+  row("rejected", std::to_string(rejected_));
+  row("acceptance rate", sim::fmt(acceptance_rate(), 3));
+  row("completed", std::to_string(completed()));
+  row("mean turn-around [h]", sim::fmt(mean_turnaround() / 3600.0));
+  row("mean wait [h]", sim::fmt(mean_wait() / 3600.0));
+  row("mean stretch", sim::fmt(mean_stretch()));
+  row("total CPU-hours", sim::fmt(total_cpu_hours(), 1));
+  return table;
+}
+
+}  // namespace resched::online

@@ -1,0 +1,89 @@
+// Online-mode metrics: per-job service quality plus engine-level rates.
+//
+// The offline evaluation aggregates degradation-from-best across scenario
+// grids (src/sim/metrics.*); a long-running engine instead reports the
+// classic online scheduling metrics — per-job turn-around, wait, and
+// stretch, the admission acceptance rate, and a utilization timeline (busy
+// processors as a step function of time). Summaries render through the same
+// sim::TextTable used by the bench harnesses.
+#pragma once
+
+#include <vector>
+
+#include "src/sim/table.hpp"
+
+namespace resched::online {
+
+/// Admission decision for one submission.
+enum class Decision {
+  kAccepted,        ///< scheduled as requested (deadline met, if any)
+  kCounterOffered,  ///< requested deadline infeasible; scheduled at the
+                    ///< earliest feasible deadline the submitter accepted
+  kRejected,        ///< not scheduled (infeasible and no acceptable offer)
+};
+
+const char* to_string(Decision decision);
+
+/// One step of the busy-processor timeline: `used` processors are held from
+/// `time` until the next point.
+struct UtilizationPoint {
+  double time = 0.0;
+  int used = 0;
+};
+
+/// Accumulates per-job records and the utilization timeline. All recording
+/// happens at event-processing time, so times arrive non-decreasing.
+class OnlineMetrics {
+ public:
+  explicit OnlineMetrics(int capacity);
+
+  int capacity() const { return capacity_; }
+
+  void record_decision(Decision decision);
+  /// Called when a job's last task completes.
+  void record_completion(double submit, double first_start, double finish,
+                         double cpu_hours);
+  /// Called whenever the number of busy processors changes.
+  void record_usage(double time, int used);
+
+  int submitted() const { return submitted_; }
+  int accepted() const { return accepted_; }
+  int counter_offered() const { return counter_offered_; }
+  int rejected() const { return rejected_; }
+  int completed() const { return static_cast<int>(turnaround_.size()); }
+
+  /// Fraction of submissions scheduled (accepted or counter-offered).
+  double acceptance_rate() const;
+
+  double mean_turnaround() const;  ///< finish − submit
+  double mean_wait() const;        ///< first task start − submit
+  /// Turn-around divided by the job's own reserved span (finish − first
+  /// start): 1.0 means the job started the instant it was submitted.
+  double mean_stretch() const;
+  double total_cpu_hours() const { return total_cpu_hours_; }
+
+  const std::vector<UtilizationPoint>& usage_timeline() const {
+    return timeline_;
+  }
+
+  /// Time-average busy fraction over [from, to), from < to, computed from
+  /// the usage timeline.
+  double utilization(double from, double to) const;
+
+  /// Two-column summary ("metric", "value") for CLI output.
+  sim::TextTable summary_table() const;
+
+ private:
+  int capacity_;
+  int submitted_ = 0;
+  int accepted_ = 0;
+  int counter_offered_ = 0;
+  int rejected_ = 0;
+  std::vector<double> turnaround_;
+  std::vector<double> wait_;
+  std::vector<double> stretch_;
+  double total_cpu_hours_ = 0.0;
+  std::vector<UtilizationPoint> timeline_;
+};
+
+}  // namespace resched::online

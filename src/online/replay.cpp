@@ -1,0 +1,44 @@
+#include "src/online/replay.hpp"
+
+#include "src/util/error.hpp"
+#include "src/util/rng.hpp"
+
+namespace resched::online {
+
+namespace {
+/// Seed namespace tags (must not collide within one derive_seed call site).
+enum SeedTag : std::uint64_t { kTagDag = 1, kTagDeadline = 2 };
+}  // namespace
+
+std::vector<JobSubmission> submissions_from_log(const workload::Log& log,
+                                                const ReplaySpec& spec) {
+  RESCHED_CHECK(spec.deadline_fraction >= 0.0 && spec.deadline_fraction <= 1.0,
+                "deadline fraction must lie in [0, 1]");
+  RESCHED_CHECK(spec.deadline_slack > 0.0, "deadline slack must be positive");
+  int n = static_cast<int>(log.jobs.size());
+  if (spec.max_jobs > 0) n = std::min(n, spec.max_jobs);
+
+  std::vector<JobSubmission> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    util::Rng dag_rng(util::derive_seed(
+        spec.seed, {kTagDag, static_cast<std::uint64_t>(i)}));
+    JobSubmission sub{i, log.jobs[static_cast<std::size_t>(i)].submit,
+                      dag::generate(spec.app, dag_rng), std::nullopt};
+
+    util::Rng dl_rng(util::derive_seed(
+        spec.seed, {kTagDeadline, static_cast<std::uint64_t>(i)}));
+    if (dl_rng.bernoulli(spec.deadline_fraction)) {
+      // Serial critical path: every task on one processor — an upper bound
+      // on useful work along the longest chain, so slack ~1 is demanding
+      // on a loaded platform and slack >~3 is usually comfortable.
+      std::vector<int> ones(static_cast<std::size_t>(sub.dag.size()), 1);
+      double cp = dag::critical_path_length(sub.dag, ones);
+      sub.deadline = sub.submit + spec.deadline_slack * cp;
+    }
+    out.push_back(std::move(sub));
+  }
+  return out;
+}
+
+}  // namespace resched::online

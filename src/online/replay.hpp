@@ -1,0 +1,41 @@
+// Workload replay: turn a batch log into a stream of DAG submissions.
+//
+// SWF logs (src/workload/swf.*) and the synthetic generators
+// (src/workload/synth.*) record jobs as flat <submit, runtime, procs>
+// tuples. The online engine schedules mixed-parallel *applications*, so
+// each log job is replayed as a randomly generated DAG (paper §3.1
+// semantics) arriving at the job's submit time. A configurable fraction of
+// jobs carries a deadline derived from the DAG's own critical path, which
+// exercises the admission-control paths. Generation is deterministic per
+// job index, so a replay is reproducible independent of platform or thread
+// count.
+#pragma once
+
+#include <vector>
+
+#include "src/dag/daggen.hpp"
+#include "src/online/service.hpp"
+#include "src/workload/log.hpp"
+
+namespace resched::online {
+
+struct ReplaySpec {
+  /// Shape of each submitted application (Table 1 parameters).
+  dag::DagSpec app;
+  /// Fraction of jobs submitted with a deadline (drawn per job).
+  double deadline_fraction = 0.0;
+  /// Deadline = submit + slack * (serial critical path of the generated
+  /// DAG). Values near 1 give tight deadlines; large values loose ones.
+  double deadline_slack = 3.0;
+  /// Truncate the log to its first `max_jobs` jobs (0 = replay everything).
+  int max_jobs = 0;
+  std::uint64_t seed = 42;
+};
+
+/// Builds the submission stream for `log`: job i becomes a DAG generated
+/// from derive_seed(seed, {i}) submitted at log.jobs[i].submit, with
+/// job_id i.
+std::vector<JobSubmission> submissions_from_log(const workload::Log& log,
+                                                const ReplaySpec& spec);
+
+}  // namespace resched::online

@@ -1,0 +1,246 @@
+#include "src/online/service.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace resched::online {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+SchedulerService::SchedulerService(ServiceConfig config)
+    : config_(std::move(config)),
+      profile_(config_.capacity),
+      metrics_(config_.capacity),
+      now_(-kInf) {
+  RESCHED_CHECK(config_.history_window > 0.0,
+                "history window must be positive");
+  RESCHED_CHECK(config_.counter_offer_limit > 0.0,
+                "counter-offer limit must be positive");
+}
+
+void SchedulerService::submit(JobSubmission job) {
+  RESCHED_CHECK(job.submit >= now_,
+                "submission in the engine's past (submit < now)");
+  RESCHED_CHECK(job.dag.size() >= 1, "submitted DAG must have tasks");
+  if (job.deadline)
+    RESCHED_CHECK(*job.deadline > job.submit,
+                  "deadline must lie after the submission instant");
+  Event e;
+  e.time = job.submit;
+  e.type = EventType::kSubmission;
+  e.job = job.job_id;
+  std::uint64_t seq = queue_.push(e);
+  pending_jobs_.emplace(seq, std::move(job));
+}
+
+void SchedulerService::submit_reservation(double arrival,
+                                          const resv::Reservation& r) {
+  RESCHED_CHECK(arrival >= now_,
+                "reservation arrival in the engine's past");
+  RESCHED_CHECK(r.start >= arrival,
+                "external reservation must start at or after its arrival");
+  RESCHED_CHECK(r.start < r.end, "reservation must have positive duration");
+  RESCHED_CHECK(r.procs >= 1, "reservation must hold processors");
+  Event e;
+  e.time = arrival;
+  e.type = EventType::kSubmission;
+  e.procs = r.procs;
+  std::uint64_t seq = queue_.push(e);
+  pending_resv_.emplace(seq, r);
+}
+
+void SchedulerService::run_until(double t) {
+  while (!queue_.empty() && queue_.peek().time <= t) process(queue_.pop());
+  now_ = std::max(now_, t);
+}
+
+void SchedulerService::run_all() {
+  while (!queue_.empty()) process(queue_.pop());
+}
+
+void SchedulerService::process(const Event& e) {
+  now_ = e.time;
+  switch (e.type) {
+    case EventType::kSubmission:
+      handle_submission(e);
+      return;
+    case EventType::kReservationStart:
+      trace_event(e);
+      change_usage(e.time, e.procs);
+      return;
+    case EventType::kReservationEnd:
+      trace_event(e);
+      change_usage(e.time, -e.procs);
+      return;
+    case EventType::kTaskCompletion: {
+      trace_event(e);
+      change_usage(e.time, -e.procs);
+      auto it = live_jobs_.find(e.job);
+      RESCHED_ASSERT(it != live_jobs_.end() && it->second.remaining_tasks > 0,
+                     "task completion for a job that is not live");
+      if (--it->second.remaining_tasks == 0) {
+        const LiveJob& job = it->second;
+        metrics_.record_completion(job.submit, job.first_start, job.finish,
+                                   job.cpu_hours);
+        live_jobs_.erase(it);
+      }
+      return;
+    }
+  }
+}
+
+void SchedulerService::handle_submission(const Event& e) {
+  if (auto rit = pending_resv_.find(e.seq); rit != pending_resv_.end()) {
+    // External advance reservation: committed verbatim on arrival.
+    const resv::Reservation r = rit->second;
+    pending_resv_.erase(rit);
+    trace_event(e, r.start);
+    profile_.add(r);
+    committed_.push_back(r);
+    queue_.push({r.start, EventType::kReservationStart, -1, -1, r.procs, 0});
+    queue_.push({r.end, EventType::kReservationEnd, -1, -1, r.procs, 0});
+    return;
+  }
+  auto jit = pending_jobs_.find(e.seq);
+  RESCHED_ASSERT(jit != pending_jobs_.end(),
+                 "submission event without a pending payload");
+  JobSubmission job = std::move(jit->second);
+  pending_jobs_.erase(jit);
+  trace_event(e, job.deadline.value_or(0.0));
+  schedule_job(job, e.time, e.seq);
+}
+
+void SchedulerService::schedule_job(const JobSubmission& job, double t,
+                                    std::uint64_t seq) {
+  RESCHED_CHECK(live_jobs_.find(job.job_id) == live_jobs_.end(),
+                "job id already live in the engine");
+  if (config_.compact_calendar)
+    profile_.compact(t - config_.history_window);
+  int q_hist =
+      resv::historical_average_available(profile_, t, config_.history_window);
+
+  if (!job.deadline) {
+    auto res =
+        core::schedule_ressched(job.dag, profile_, t, q_hist, config_.ressched);
+    commit_schedule(job, t, seq, res.schedule, Decision::kAccepted, kNaN);
+    return;
+  }
+
+  auto dl = core::schedule_deadline(job.dag, profile_, t, q_hist,
+                                    *job.deadline, config_.deadline);
+  if (dl.feasible) {
+    commit_schedule(job, t, seq, dl.schedule, Decision::kAccepted, kNaN);
+    return;
+  }
+  if (config_.admission == AdmissionPolicy::kRejectInfeasible) {
+    reject(job, t, seq, kNaN);
+    return;
+  }
+  // Counter-offer: binary-search the earliest feasible deadline on the live
+  // calendar (§5.3's tightest-deadline machinery) and tentatively commit
+  // the schedule achieving it; the submitter's stretch rule then accepts or
+  // rolls back.
+  auto tight = core::tightest_deadline(job.dag, profile_, t, q_hist,
+                                       config_.deadline, config_.tightest);
+  RESCHED_ASSERT(tight.at_deadline.feasible,
+                 "tightest-deadline search must end feasible");
+  commit_schedule(job, t, seq, tight.at_deadline.schedule,
+                  Decision::kCounterOffered, tight.deadline);
+}
+
+void SchedulerService::commit_schedule(const JobSubmission& job, double t,
+                                       std::uint64_t seq,
+                                       const core::AppSchedule& schedule,
+                                       Decision decision,
+                                       double counter_offer) {
+  resv::ReservationList rs;
+  rs.reserve(schedule.tasks.size());
+  for (const core::TaskReservation& task : schedule.tasks)
+    rs.push_back(task.as_reservation());
+
+  resv::AvailabilityProfile::CommitToken token = profile_.commit(rs);
+  if (decision == Decision::kCounterOffered &&
+      std::isfinite(config_.counter_offer_limit) &&
+      counter_offer - t > config_.counter_offer_limit * (*job.deadline - t)) {
+    profile_.rollback(token);
+    reject(job, t, seq, counter_offer);
+    return;
+  }
+  committed_.insert(committed_.end(), rs.begin(), rs.end());
+
+  double start = kInf, finish = -kInf;
+  for (const core::TaskReservation& task : schedule.tasks) {
+    start = std::min(start, task.start);
+    finish = std::max(finish, task.finish);
+  }
+  live_jobs_[job.job_id] = LiveJob{static_cast<int>(schedule.tasks.size()),
+                                   job.submit, start, finish,
+                                   schedule.cpu_hours()};
+
+  JobOutcome outcome;
+  outcome.job_id = job.job_id;
+  outcome.decision = decision;
+  outcome.submit = job.submit;
+  outcome.requested_deadline = job.deadline.value_or(kNaN);
+  outcome.counter_offer = counter_offer;
+  outcome.start = start;
+  outcome.finish = finish;
+  outcome.cpu_hours = schedule.cpu_hours();
+  outcome.schedule = schedule;
+  outcomes_.push_back(std::move(outcome));
+
+  metrics_.record_decision(decision);
+  trace_decision(seq, t, decision, job.job_id,
+                 decision == Decision::kCounterOffered ? counter_offer
+                                                       : finish);
+
+  for (int i = 0; i < static_cast<int>(schedule.tasks.size()); ++i) {
+    const core::TaskReservation& task = schedule.tasks[i];
+    queue_.push({task.start, EventType::kReservationStart, job.job_id, i,
+                 task.procs, 0});
+    queue_.push({task.finish, EventType::kTaskCompletion, job.job_id, i,
+                 task.procs, 0});
+  }
+}
+
+void SchedulerService::reject(const JobSubmission& job, double t,
+                              std::uint64_t seq, double counter_offer) {
+  JobOutcome outcome;
+  outcome.job_id = job.job_id;
+  outcome.decision = Decision::kRejected;
+  outcome.submit = job.submit;
+  outcome.requested_deadline = job.deadline.value_or(kNaN);
+  outcome.counter_offer = counter_offer;
+  outcome.start = kNaN;
+  outcome.finish = kNaN;
+  outcomes_.push_back(std::move(outcome));
+  metrics_.record_decision(Decision::kRejected);
+  trace_decision(seq, t, Decision::kRejected, job.job_id,
+                 job.deadline.value_or(kNaN));
+}
+
+void SchedulerService::change_usage(double t, int delta) {
+  used_procs_ += delta;
+  RESCHED_ASSERT(used_procs_ >= 0, "busy processor count went negative");
+  metrics_.record_usage(t, used_procs_);
+}
+
+void SchedulerService::trace_event(const Event& e, double value) {
+  if (!trace_) return;
+  trace_->write({e.seq, e.time, to_string(e.type), e.job, e.task, e.procs,
+                 value});
+}
+
+void SchedulerService::trace_decision(std::uint64_t seq, double t,
+                                      Decision decision, int job,
+                                      double value) {
+  if (!trace_) return;
+  trace_->write({seq, t, to_string(decision), job, -1, 0, value});
+}
+
+}  // namespace resched::online

@@ -1,0 +1,165 @@
+// Online scheduler service: streaming submissions over an incremental
+// calendar, with admission control for deadline jobs.
+//
+// The offline evaluator (src/sim/) fixes a reservation calendar up front
+// and schedules one DAG against it. This service is the operating mode of a
+// real reservation-backed scheduler: DAG applications and external advance
+// reservations arrive as a time-ordered event stream, and per arrival the
+// engine runs one of the paper's algorithms (§4 RESSCHED for best-effort
+// jobs, §5 RESSCHEDdl for deadline jobs) against the *current* calendar
+// state, then commits the resulting per-task allocations as new
+// reservations via the incremental AvailabilityProfile mutation API — no
+// calendar rebuild, ever.
+//
+// Admission control (deadline jobs): when RESSCHEDdl cannot meet the
+// requested deadline, the engine computes the earliest feasible deadline
+// (the §5.3 tightest-deadline binary search on the live calendar) and, per
+// policy, either rejects the job or counter-offers that deadline. A
+// counter-offered schedule is committed tentatively; if the offer exceeds
+// the submitter's stretch limit the commit is rolled back through the
+// profile's rollback token, leaving the calendar untouched.
+//
+// Determinism: all state changes flow through the event queue (stable FIFO
+// tie-breaking), the algorithms are deterministic, and nothing depends on
+// wall-clock or thread identity — replaying the same stream twice yields
+// byte-identical traces and metrics.
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/resscheddl.hpp"
+#include "src/core/ressched.hpp"
+#include "src/core/tightest_deadline.hpp"
+#include "src/dag/dag.hpp"
+#include "src/online/event_queue.hpp"
+#include "src/online/online_metrics.hpp"
+#include "src/online/trace.hpp"
+#include "src/resv/profile.hpp"
+
+namespace resched::online {
+
+enum class AdmissionPolicy {
+  kRejectInfeasible,  ///< deadline misses are rejected outright
+  kCounterOffer,      ///< offer the earliest feasible deadline instead
+};
+
+struct ServiceConfig {
+  int capacity = 64;  ///< platform processors
+  /// Window for the historical average availability q (paper §4.2).
+  double history_window = 7 * 86400.0;
+  core::ResschedParams ressched;  ///< algorithm for best-effort jobs
+  core::DeadlineParams deadline;  ///< algorithm for deadline jobs
+  AdmissionPolicy admission = AdmissionPolicy::kCounterOffer;
+  /// A counter-offer is accepted when offered − now <= limit * (requested −
+  /// now); infinity (the default) accepts every offer.
+  double counter_offer_limit = std::numeric_limits<double>::infinity();
+  core::TightestDeadlineOptions tightest;  ///< counter-offer search knobs
+  /// Drop calendar breakpoints older than now − history_window as the
+  /// engine advances, bounding memory for long-running streams.
+  bool compact_calendar = true;
+};
+
+/// One application arriving in the stream. Aggregate-initialize (Dag has no
+/// default constructor): {id, submit, std::move(dag), deadline}.
+struct JobSubmission {
+  int job_id;
+  double submit;
+  dag::Dag dag;
+  /// Absolute completion requirement; nullopt = best-effort.
+  std::optional<double> deadline;
+};
+
+/// The engine's verdict and schedule for one submission.
+struct JobOutcome {
+  int job_id = -1;
+  Decision decision = Decision::kRejected;
+  double submit = 0.0;
+  /// Requested deadline (NaN for best-effort jobs).
+  double requested_deadline = 0.0;
+  /// Earliest feasible deadline found when the request was infeasible
+  /// (NaN when not computed).
+  double counter_offer = 0.0;
+  double start = 0.0;   ///< first task start (NaN when rejected)
+  double finish = 0.0;  ///< last task finish (NaN when rejected)
+  double cpu_hours = 0.0;
+  core::AppSchedule schedule;  ///< empty when rejected
+};
+
+class SchedulerService {
+ public:
+  explicit SchedulerService(ServiceConfig config);
+
+  /// Enqueues a DAG submission. Submissions may be enqueued in any order;
+  /// processing is strictly time-ordered (ties FIFO by enqueue order). A
+  /// submission in the engine's past (submit < now()) is a precondition
+  /// violation.
+  void submit(JobSubmission job);
+
+  /// Enqueues an external advance reservation that becomes visible to the
+  /// scheduler at `arrival` and is committed to the calendar then.
+  void submit_reservation(double arrival, const resv::Reservation& r);
+
+  /// Processes every event with time <= t, advancing now() to max(t, now).
+  void run_until(double t);
+
+  /// Drains the event queue completely.
+  void run_all();
+
+  double now() const { return now_; }
+  const resv::AvailabilityProfile& profile() const { return profile_; }
+  const OnlineMetrics& metrics() const { return metrics_; }
+  const std::vector<JobOutcome>& outcomes() const { return outcomes_; }
+  /// All reservations the engine committed and never rolled back (task
+  /// reservations and external ARs), in commit order — an offline rebuild
+  /// of the calendar from this list matches profile() exactly.
+  const resv::ReservationList& committed_reservations() const {
+    return committed_;
+  }
+
+  /// Attaches a trace writer (borrowed; nullptr detaches). Every processed
+  /// event and admission decision is recorded.
+  void set_trace(TraceWriter* trace) { trace_ = trace; }
+
+ private:
+  struct LiveJob {
+    int remaining_tasks = 0;
+    double submit = 0.0;
+    double first_start = 0.0;
+    double finish = 0.0;
+    double cpu_hours = 0.0;
+  };
+
+  void process(const Event& e);
+  void handle_submission(const Event& e);
+  void schedule_job(const JobSubmission& job, double t, std::uint64_t seq);
+  /// Commits `schedule` through the profile's commit token, records the
+  /// outcome, and pushes start/completion events. A counter-offer exceeding
+  /// the submitter's limit is rolled back and rejected instead.
+  void commit_schedule(const JobSubmission& job, double t, std::uint64_t seq,
+                       const core::AppSchedule& schedule, Decision decision,
+                       double counter_offer);
+  void reject(const JobSubmission& job, double t, std::uint64_t seq,
+              double counter_offer);
+  void change_usage(double t, int delta);
+  void trace_event(const Event& e, double value = 0.0);
+  void trace_decision(std::uint64_t seq, double t, Decision decision, int job,
+                      double value);
+
+  ServiceConfig config_;
+  resv::AvailabilityProfile profile_;
+  EventQueue queue_;
+  OnlineMetrics metrics_;
+  std::vector<JobOutcome> outcomes_;
+  resv::ReservationList committed_;
+  std::unordered_map<std::uint64_t, JobSubmission> pending_jobs_;
+  std::unordered_map<std::uint64_t, resv::Reservation> pending_resv_;
+  std::unordered_map<int, LiveJob> live_jobs_;
+  TraceWriter* trace_ = nullptr;
+  double now_;
+  int used_procs_ = 0;
+};
+
+}  // namespace resched::online

@@ -1,0 +1,114 @@
+#include "src/online/trace.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "src/util/error.hpp"
+
+namespace resched::online {
+
+std::string format_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string to_json_line(const TraceRecord& record) {
+  RESCHED_CHECK(record.type.find('"') == std::string::npos &&
+                    record.type.find('\\') == std::string::npos,
+                "trace type names must not need JSON escaping");
+  std::ostringstream os;
+  os << "{\"seq\":" << record.seq << ",\"t\":" << format_double(record.time)
+     << ",\"type\":\"" << record.type << "\",\"job\":" << record.job
+     << ",\"task\":" << record.task << ",\"procs\":" << record.procs
+     << ",\"value\":" << format_double(record.value) << '}';
+  return os.str();
+}
+
+void TraceWriter::write(const TraceRecord& record) {
+  *out_ << to_json_line(record) << '\n';
+}
+
+namespace {
+
+/// Cursor over one line; the schema has a fixed key order, so parsing is a
+/// straight left-to-right scan.
+class LineParser {
+ public:
+  explicit LineParser(const std::string& line) : line_(line) {}
+
+  void expect(const char* literal) {
+    std::size_t len = std::char_traits<char>::length(literal);
+    RESCHED_CHECK(line_.compare(pos_, len, literal) == 0,
+                  "malformed trace line: expected '" + std::string(literal) +
+                      "' in: " + line_);
+    pos_ += len;
+  }
+
+  double number() {
+    const char* begin = line_.c_str() + pos_;
+    char* end = nullptr;
+    double v = std::strtod(begin, &end);
+    RESCHED_CHECK(end != begin, "malformed trace number in: " + line_);
+    pos_ += static_cast<std::size_t>(end - begin);
+    return v;
+  }
+
+  std::string quoted_string() {
+    expect("\"");
+    std::size_t close = line_.find('"', pos_);
+    RESCHED_CHECK(close != std::string::npos,
+                  "unterminated trace string in: " + line_);
+    std::string s = line_.substr(pos_, close - pos_);
+    pos_ = close + 1;
+    return s;
+  }
+
+  void expect_end() {
+    RESCHED_CHECK(pos_ == line_.size(),
+                  "trailing characters in trace line: " + line_);
+  }
+
+ private:
+  const std::string& line_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+TraceRecord parse_trace_line(const std::string& line) {
+  LineParser p(line);
+  TraceRecord r;
+  p.expect("{\"seq\":");
+  r.seq = static_cast<std::uint64_t>(p.number());
+  p.expect(",\"t\":");
+  r.time = p.number();
+  p.expect(",\"type\":");
+  r.type = p.quoted_string();
+  p.expect(",\"job\":");
+  r.job = static_cast<int>(p.number());
+  p.expect(",\"task\":");
+  r.task = static_cast<int>(p.number());
+  p.expect(",\"procs\":");
+  r.procs = static_cast<int>(p.number());
+  p.expect(",\"value\":");
+  r.value = p.number();
+  p.expect("}");
+  p.expect_end();
+  return r;
+}
+
+std::vector<TraceRecord> read_trace(std::istream& in) {
+  std::vector<TraceRecord> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    records.push_back(parse_trace_line(line));
+  }
+  return records;
+}
+
+}  // namespace resched::online

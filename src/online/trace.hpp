@@ -1,0 +1,63 @@
+// JSONL event-trace writer / reader for the online engine.
+//
+// Every processed engine event (and every admission decision) is emitted as
+// one JSON object per line, with a fixed key order so that traces are
+// byte-stable across runs and platforms:
+//
+//   {"seq":12,"t":3600,"type":"submit","job":4,"task":-1,"procs":0,"value":0}
+//
+// Keys: seq (event sequence number; admission decisions reuse the sequence
+// number of the submission that triggered them), t (engine time, seconds),
+// type (event or decision name), job / task / procs (ids, -1 / 0 when not
+// applicable), value (type-dependent: schedule finish time for accept,
+// offered deadline for counter_offer, requested deadline for reject).
+//
+// Doubles are formatted with %.17g, which strtod parses back to the exact
+// same bits, so write -> read -> write round-trips byte-identically — the
+// property the golden-file test in tests/online_trace_test.cpp enforces.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace resched::online {
+
+/// One trace line. `type` holds an event name (to_string(EventType)) or a
+/// decision name (to_string(Decision)).
+struct TraceRecord {
+  std::uint64_t seq = 0;
+  double time = 0.0;
+  std::string type;
+  int job = -1;
+  int task = -1;
+  int procs = 0;
+  double value = 0.0;
+
+  bool operator==(const TraceRecord&) const = default;
+};
+
+/// Formats a double such that strtod(result) reproduces the value exactly.
+std::string format_double(double v);
+
+/// Streams records as JSONL. The stream is borrowed, not owned.
+class TraceWriter {
+ public:
+  explicit TraceWriter(std::ostream& out) : out_(&out) {}
+  void write(const TraceRecord& record);
+
+ private:
+  std::ostream* out_;
+};
+
+/// Serializes one record to its JSONL line (no trailing newline).
+std::string to_json_line(const TraceRecord& record);
+
+/// Parses one JSONL line; throws resched::Error on schema violations.
+TraceRecord parse_trace_line(const std::string& line);
+
+/// Reads a whole trace (empty lines are skipped).
+std::vector<TraceRecord> read_trace(std::istream& in);
+
+}  // namespace resched::online

@@ -40,6 +40,63 @@ void AvailabilityProfile::add(const Reservation& r) {
   ++reservation_count_;
 }
 
+void AvailabilityProfile::release(const Reservation& r) {
+  RESCHED_CHECK(r.procs >= 0, "reservation processor count must be >= 0");
+  RESCHED_CHECK(r.start < r.end, "reservation must have positive duration");
+  if (r.procs == 0) return;
+  // Mirror add(): materialize both boundary keys (earlier releases may have
+  // coalesced them away), restore availability over [start, end), then drop
+  // breakpoints made redundant so the structure converges to what a
+  // from-scratch build without r produces.
+  auto ensure_key = [this](double t) {
+    auto it = steps_.upper_bound(t);
+    --it;  // sentinel guarantees validity
+    steps_.emplace(t, it->second);
+  };
+  ensure_key(r.start);
+  ensure_key(r.end);
+  for (auto it = steps_.find(r.start); it->first < r.end; ++it)
+    it->second += r.procs;
+  auto coalesce = [this](double t) {
+    auto key = steps_.find(t);
+    if (key == steps_.end() || key == steps_.begin()) return;
+    if (std::prev(key)->second == key->second) steps_.erase(key);
+  };
+  coalesce(r.end);
+  coalesce(r.start);
+  --reservation_count_;
+}
+
+AvailabilityProfile::CommitToken AvailabilityProfile::commit(
+    std::span<const Reservation> rs) {
+  CommitToken token;
+  token.reservations_.reserve(rs.size());
+  for (const Reservation& r : rs) {
+    add(r);
+    token.reservations_.push_back(r);
+  }
+  return token;
+}
+
+void AvailabilityProfile::rollback(CommitToken& token) {
+  for (auto it = token.reservations_.rbegin(); it != token.reservations_.rend();
+       ++it)
+    release(*it);
+  token.reservations_.clear();
+}
+
+void AvailabilityProfile::compact(double horizon) {
+  auto it = steps_.upper_bound(horizon);
+  --it;
+  int value_at_horizon = it->second;
+  steps_.erase(std::next(steps_.begin()), steps_.upper_bound(horizon));
+  steps_.begin()->second = value_at_horizon;
+  // The first surviving finite key may now repeat the sentinel's value.
+  auto first = std::next(steps_.begin());
+  if (first != steps_.end() && first->second == value_at_horizon)
+    steps_.erase(first);
+}
+
 int AvailabilityProfile::available_at(double t) const {
   auto it = steps_.upper_bound(t);
   --it;
@@ -177,6 +234,20 @@ std::vector<double> AvailabilityProfile::breakpoints() const {
   for (const auto& [t, avail] : steps_) {
     (void)avail;
     if (t != kNegInf) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<std::pair<double, int>> AvailabilityProfile::canonical_steps()
+    const {
+  std::vector<std::pair<double, int>> out;
+  int prev = steps_.begin()->second;  // sentinel: capacity, unless compacted
+  out.emplace_back(kNegInf, prev);
+  for (const auto& [t, avail] : steps_) {
+    if (t == kNegInf) continue;
+    if (avail == prev) continue;
+    out.emplace_back(t, avail);
+    prev = avail;
   }
   return out;
 }

@@ -18,6 +18,7 @@
 #include <map>
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "src/resv/reservation.hpp"
@@ -39,6 +40,46 @@ class AvailabilityProfile {
   /// Commits a reservation (subtracts it from availability). Reservations
   /// may over-subscribe; availability is clamped at zero when queried.
   void add(const Reservation& r);
+
+  /// Releases a previously added reservation: the exact inverse of add().
+  /// Availability over [r.start, r.end) is restored and breakpoints that
+  /// become redundant (same raw value as their predecessor) are coalesced,
+  /// so the step function is indistinguishable from one rebuilt from
+  /// scratch without r. Releasing a reservation that was never added
+  /// corrupts the profile — callers pair releases with adds (see commit /
+  /// rollback).
+  void release(const Reservation& r);
+
+  /// Opaque record of a group of reservations committed together, enabling
+  /// rollback of a rejected admission without rebuilding the profile.
+  /// Tokens are single-use and tied to the profile that issued them.
+  class CommitToken {
+   public:
+    CommitToken() = default;
+    bool empty() const { return reservations_.empty(); }
+    std::size_t size() const { return reservations_.size(); }
+
+   private:
+    friend class AvailabilityProfile;
+    std::vector<Reservation> reservations_;
+  };
+
+  /// Adds every reservation in `rs` and returns a token that can undo the
+  /// whole group. O(|rs| log R + |rs| K) with K the breakpoints spanned —
+  /// no profile rebuild.
+  CommitToken commit(std::span<const Reservation> rs);
+
+  /// Undoes a commit(): releases every reservation recorded in the token
+  /// (in reverse order) and empties it. Safe to call with an empty token.
+  void rollback(CommitToken& token);
+
+  /// Drops breakpoints strictly below `horizon`, pinning the availability
+  /// at `horizon` as the new "since forever" value. Long-running engines
+  /// call this to keep calendars from growing without bound; queries at or
+  /// after `horizon` are unaffected, queries before it see the value that
+  /// held at `horizon`. reservation_count() is unchanged (it counts adds,
+  /// not live reservations).
+  void compact(double horizon);
 
   /// Free processors at time t (clamped to [0, capacity]).
   int available_at(double t) const;
@@ -67,6 +108,13 @@ class AvailabilityProfile {
 
   /// Breakpoints of the step function, ascending (exposed for tests).
   std::vector<double> breakpoints() const;
+
+  /// Canonical (time, raw availability) steps: the first entry is the
+  /// -infinity sentinel (value = capacity unless compacted) and entries
+  /// whose value equals their predecessor's are skipped, so two profiles
+  /// describing the same step function compare equal regardless of the
+  /// add/release history that built them.
+  std::vector<std::pair<double, int>> canonical_steps() const;
 
  private:
   // steps_[t] = raw availability from time t until the next key. The map

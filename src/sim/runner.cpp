@@ -20,18 +20,29 @@ void parallel_for(int n, int threads, const std::function<void(int)>& fn) {
   }
 
   std::atomic<int> next{0};
+  std::atomic<bool> failed{false};
   std::exception_ptr first_error;
+  int first_error_index = n;
   std::mutex error_mutex;
 
+  // Indices are claimed in ascending order, so the lowest throwing index is
+  // always claimed (and hence executed) before any thrower can raise the
+  // failed flag — keeping "first exception wins" deterministic: the
+  // in-flight cell with the smallest index that throws is the one whose
+  // exception propagates, independent of thread count and scheduling.
   auto worker = [&] {
-    while (true) {
+    while (!failed.load(std::memory_order_relaxed)) {
       int i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       try {
         fn(i);
       } catch (...) {
+        failed.store(true, std::memory_order_relaxed);
         std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        if (i < first_error_index) {
+          first_error_index = i;
+          first_error = std::current_exception();
+        }
       }
     }
   };

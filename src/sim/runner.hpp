@@ -12,8 +12,11 @@
 namespace resched::sim {
 
 /// Runs fn(0) ... fn(n-1) on up to `threads` worker threads (1 = inline).
-/// Each index runs exactly once; exceptions propagate (first one wins) after
-/// all workers drain.
+/// Each index runs at most once, and every index runs when no cell throws.
+/// Exception contract: once any cell throws, workers stop claiming new
+/// indices (no deadlock, no wasted work), all in-flight cells drain, and the
+/// exception from the *lowest* throwing index propagates — deterministic
+/// for any thread count, because indices are claimed in ascending order.
 void parallel_for(int n, int threads, const std::function<void(int)>& fn);
 
 }  // namespace resched::sim

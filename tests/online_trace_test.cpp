@@ -1,0 +1,114 @@
+// Event-trace JSONL schema: golden-file rendering of the writer, the
+// minimal reader, and byte-exact round-tripping — including a trace
+// produced by a live engine run.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/online/service.hpp"
+#include "src/online/trace.hpp"
+#include "src/util/error.hpp"
+
+namespace {
+
+using namespace resched;
+using online::TraceRecord;
+using online::TraceWriter;
+
+std::vector<TraceRecord> sample_records() {
+  return {
+      {0, 0.0, "submit", 4, -1, 0, 7200.0},
+      {1, 3600.5, "resv_start", -1, -1, 16, 0.0},
+      {2, 0.1, "accept", 4, -1, 0, 5459.300000000001},
+      {3, 1e9, "task_done", 4, 2, 3, 0.0},
+  };
+}
+
+// The exact bytes the writer must emit for the sample records. Any change
+// to the schema (key order, number formatting, names) must update this
+// golden block deliberately.
+const char* kGolden =
+    "{\"seq\":0,\"t\":0,\"type\":\"submit\",\"job\":4,\"task\":-1,"
+    "\"procs\":0,\"value\":7200}\n"
+    "{\"seq\":1,\"t\":3600.5,\"type\":\"resv_start\",\"job\":-1,\"task\":-1,"
+    "\"procs\":16,\"value\":0}\n"
+    "{\"seq\":2,\"t\":0.10000000000000001,\"type\":\"accept\",\"job\":4,"
+    "\"task\":-1,\"procs\":0,\"value\":5459.3000000000011}\n"
+    "{\"seq\":3,\"t\":1000000000,\"type\":\"task_done\",\"job\":4,\"task\":2,"
+    "\"procs\":3,\"value\":0}\n";
+
+TEST(Trace, WriterMatchesGoldenFile) {
+  std::ostringstream out;
+  TraceWriter writer(out);
+  for (const TraceRecord& r : sample_records()) writer.write(r);
+  EXPECT_EQ(out.str(), kGolden);
+}
+
+TEST(Trace, ReaderRoundTripsGoldenFile) {
+  std::istringstream in(kGolden);
+  std::vector<TraceRecord> parsed = online::read_trace(in);
+  ASSERT_EQ(parsed.size(), 4u);
+  EXPECT_EQ(parsed, sample_records());
+
+  // Parsed values are bit-exact, so re-writing reproduces the bytes.
+  std::ostringstream out;
+  TraceWriter writer(out);
+  for (const TraceRecord& r : parsed) writer.write(r);
+  EXPECT_EQ(out.str(), kGolden);
+}
+
+TEST(Trace, ReaderSkipsBlankLinesAndRejectsMalformedOnes) {
+  std::istringstream in(std::string(kGolden) + "\n\n");
+  EXPECT_EQ(online::read_trace(in).size(), 4u);
+
+  EXPECT_THROW(online::parse_trace_line("{}"), resched::Error);
+  EXPECT_THROW(online::parse_trace_line("{\"seq\":1}"), resched::Error);
+  EXPECT_THROW(
+      online::parse_trace_line(
+          "{\"seq\":0,\"t\":0,\"type\":\"submit\",\"job\":0,\"task\":0,"
+          "\"procs\":0,\"value\":0}trailing"),
+      resched::Error);
+  EXPECT_THROW(
+      online::parse_trace_line(
+          "{\"seq\":x,\"t\":0,\"type\":\"submit\",\"job\":0,\"task\":0,"
+          "\"procs\":0,\"value\":0}"),
+      resched::Error);
+}
+
+TEST(Trace, TypeNamesRequiringEscapingAreRejected) {
+  std::ostringstream out;
+  TraceWriter writer(out);
+  EXPECT_THROW(writer.write({0, 0.0, "bad\"type", 0, 0, 0, 0.0}),
+               resched::Error);
+}
+
+TEST(Trace, EngineTraceRoundTripsByteExactly) {
+  // Drive a real engine run and round-trip the full trace.
+  online::ServiceConfig config;
+  config.capacity = 8;
+  online::SchedulerService service(config);
+  std::ostringstream trace_out;
+  TraceWriter writer(trace_out);
+  service.set_trace(&writer);
+
+  service.submit_reservation(0.0, {100.0, 400.0, 4});
+  std::vector<dag::TaskCost> costs{{120.0, 1.0}, {60.0, 1.0}};
+  std::vector<std::pair<int, int>> edges{{0, 1}};
+  service.submit({0, 50.0, dag::Dag(std::move(costs), edges), std::nullopt});
+  service.run_all();
+
+  std::string first = trace_out.str();
+  ASSERT_FALSE(first.empty());
+  std::istringstream in(first);
+  std::vector<TraceRecord> parsed = online::read_trace(in);
+  // submit + accept + 2x(start, completion) for the job, plus arrival,
+  // start, end for the external reservation.
+  EXPECT_EQ(parsed.size(), 9u);
+
+  std::ostringstream rewritten;
+  TraceWriter rewriter(rewritten);
+  for (const TraceRecord& r : parsed) rewriter.write(r);
+  EXPECT_EQ(rewritten.str(), first);
+}
+
+}  // namespace

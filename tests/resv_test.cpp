@@ -360,4 +360,71 @@ TEST(EarliestFit, StartsInsideLongFreeSegmentAfterBusyPrefix) {
   EXPECT_DOUBLE_EQ(*fit, 1000.0);
 }
 
+// --- Edge cases on the hot paths the incremental-mutation API builds on ---
+
+TEST(Profile, ZeroLengthReservationIsRejected) {
+  AvailabilityProfile p(4);
+  EXPECT_THROW(p.add({5.0, 5.0, 2}), resched::Error);    // start == end
+  EXPECT_THROW(p.add({5.0, 4.0, 2}), resched::Error);    // inverted
+  EXPECT_THROW(p.release({5.0, 5.0, 2}), resched::Error);
+  EXPECT_EQ(p.reservation_count(), 0);
+  EXPECT_EQ(p.available_at(5.0), 4);
+}
+
+TEST(Profile, BackToBackReservationsAtTheSameBoundaryInstant) {
+  // [0, 10) and [10, 20) sharing the boundary instant 10: half-open
+  // semantics mean the platform never double-counts at t = 10.
+  AvailabilityProfile p(4);
+  p.add({0.0, 10.0, 4});
+  p.add({10.0, 20.0, 4});
+  EXPECT_EQ(p.available_at(9.999999), 0);
+  EXPECT_EQ(p.available_at(10.0), 0);  // second reservation holds here
+  EXPECT_EQ(p.available_at(20.0), 4);
+  EXPECT_EQ(p.min_available(0.0, 20.0), 0);
+  // No window exists inside [0, 20); the earliest fit is exactly 20.
+  auto fit = p.earliest_fit(1, 1.0, 0.0);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_DOUBLE_EQ(*fit, 20.0);
+  // Partial-width back-to-back: the boundary leaves 2 processors free on
+  // both sides, so a 2-proc job can span it seamlessly.
+  AvailabilityProfile q(4);
+  q.add({0.0, 10.0, 2});
+  q.add({10.0, 20.0, 2});
+  auto spanning = q.earliest_fit(2, 15.0, 0.0);
+  ASSERT_TRUE(spanning.has_value());
+  EXPECT_DOUBLE_EQ(*spanning, 0.0);
+  EXPECT_FALSE(q.earliest_fit(3, 15.0, 0.0).value_or(1e18) < 20.0);
+}
+
+TEST(EarliestFit, QueryStartingExactlyAtABreakpoint) {
+  AvailabilityProfile p(8);
+  p.add({0.0, 10.0, 6});
+  p.add({10.0, 30.0, 2});
+  // not_before lands exactly on the breakpoint where availability rises
+  // from 2 to 6: the fit must start at 10, not drift into the previous
+  // segment or skip to the next one.
+  auto fit = p.earliest_fit(6, 5.0, 10.0);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_DOUBLE_EQ(*fit, 10.0);
+  // Asking for more than the new segment offers waits for the calendar to
+  // clear at the next breakpoint.
+  auto wide = p.earliest_fit(7, 5.0, 10.0);
+  ASSERT_TRUE(wide.has_value());
+  EXPECT_DOUBLE_EQ(*wide, 30.0);
+  // A query from exactly the final breakpoint is served in place.
+  auto tail = p.earliest_fit(8, 1.0, 30.0);
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_DOUBLE_EQ(*tail, 30.0);
+}
+
+TEST(LatestFit, DeadlineExactlyAtABreakpoint) {
+  AvailabilityProfile p(8);
+  p.add({10.0, 20.0, 8});
+  // Deadline exactly at the blackout start: the window must end at 10.
+  auto fit = p.latest_fit(4, 5.0, 10.0, 0.0);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_DOUBLE_EQ(*fit, 5.0);
+  EXPECT_GE(*fit + 5.0, 10.0 - 1e-9);
+}
+
 }  // namespace

@@ -41,6 +41,43 @@ TEST(ParallelFor, PropagatesException) {
       resched::Error);
 }
 
+TEST(ParallelFor, ThrowingCellDoesNotDeadlockThePool) {
+  // Regression: a throwing cell must not wedge the pool — every worker
+  // drains and the exception reaches the caller (this test hanging is the
+  // failure mode). Workers also stop claiming new cells after a throw.
+  for (int rep = 0; rep < 20; ++rep) {
+    std::atomic<int> ran{0};
+    EXPECT_THROW(sim::parallel_for(64, 8,
+                                   [&](int i) {
+                                     ran++;
+                                     if (i == 10)
+                                       throw resched::Error("cell 10");
+                                   }),
+                 resched::Error);
+    EXPECT_GE(ran.load(), 11);  // 0..10 always execute
+  }
+}
+
+TEST(ParallelFor, FirstExceptionWinsDeterministically) {
+  // Contract: the exception from the *lowest* throwing index propagates,
+  // whatever the thread count or interleaving. Every cell >= 37 throws its
+  // own message; index 37 must win every time.
+  for (int threads : {2, 4, 8}) {
+    for (int rep = 0; rep < 10; ++rep) {
+      try {
+        sim::parallel_for(100, threads, [](int i) {
+          if (i >= 37)
+            throw resched::Error("cell " + std::to_string(i));
+        });
+        FAIL() << "expected an exception";
+      } catch (const resched::Error& e) {
+        EXPECT_STREQ(e.what(), "cell 37")
+            << "threads=" << threads << " rep=" << rep;
+      }
+    }
+  }
+}
+
 TEST(ParallelFor, ValidatesArguments) {
   EXPECT_THROW(sim::parallel_for(-1, 1, [](int) {}), resched::Error);
   EXPECT_THROW(sim::parallel_for(1, 0, [](int) {}), resched::Error);
