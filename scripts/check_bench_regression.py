@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Compares a google-benchmark JSON run against a checked-in baseline.
+
+Usage: check_bench_regression.py BASELINE.json CURRENT.json [--factor 2.0]
+
+Fails (exit 1) when any benchmark present in both files is slower than
+`factor` times its baseline real_time, or when the current run is missing a
+baseline benchmark. Also enforces the indexed calendar's acceptance bar:
+indexed earliest_fit at 10k reservations must beat the linear oracle by at
+least 5x *within the current run* (so machine speed cancels out).
+"""
+
+import argparse
+import json
+import sys
+
+SPEEDUP_NUM = "linear_earliest_fit/10000"
+SPEEDUP_DEN = "indexed_earliest_fit/10000"
+SPEEDUP_MIN = 5.0
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {
+        b["name"]: float(b["real_time"])
+        for b in data["benchmarks"]
+        if b.get("run_type", "iteration") == "iteration"
+    }
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--factor", type=float, default=2.0)
+    args = ap.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    failures = []
+    for name, base_time in sorted(baseline.items()):
+        if name not in current:
+            failures.append(f"{name}: missing from the current run")
+            continue
+        cur_time = current[name]
+        ratio = cur_time / base_time if base_time > 0 else float("inf")
+        marker = "FAIL" if ratio > args.factor else "ok"
+        print(f"{marker:4} {name}: {base_time:12.1f} ns -> {cur_time:12.1f} ns"
+              f"  ({ratio:.2f}x)")
+        if ratio > args.factor:
+            failures.append(
+                f"{name}: {ratio:.2f}x slower than baseline"
+                f" (limit {args.factor:.2f}x)")
+
+    if SPEEDUP_NUM in current and SPEEDUP_DEN in current:
+        speedup = current[SPEEDUP_NUM] / current[SPEEDUP_DEN]
+        print(f"earliest_fit speedup over the linear oracle at 10k:"
+              f" {speedup:.1f}x (required >= {SPEEDUP_MIN}x)")
+        if speedup < SPEEDUP_MIN:
+            failures.append(
+                f"index speedup {speedup:.1f}x below the {SPEEDUP_MIN}x bar")
+    else:
+        failures.append("speedup benchmarks missing from the current run")
+
+    if failures:
+        print("\nbenchmark regression check FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nbenchmark regression check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -84,19 +84,28 @@ ResschedResult schedule_ressched(const dag::Dag& dag,
       ready = std::max(
           ready, result.schedule.tasks[static_cast<std::size_t>(pred)].finish);
 
-    // Scan processor counts downward; ready + exec(np) lower-bounds any
-    // completion at np or below (exec grows as np shrinks), so once that
-    // bound cannot beat the best completion the remaining counts are
-    // dominated and the scan stops. Ties prefer the smaller allocation
-    // (same completion, fewer CPU-hours).
+    // Batch the downward processor-count sweep through the indexed
+    // calendar, then replay the dominance-pruned selection over the
+    // precomputed fits. Ties prefer the smaller allocation (same
+    // completion, fewer CPU-hours). Queries past the pruning point are
+    // discarded unread: ready + exec(np) lower-bounds any completion at np
+    // or below (exec grows as np shrinks), so once that bound cannot beat
+    // the incumbent the remaining counts are strictly dominated and the
+    // choice matches the one-at-a-time scan exactly.
+    std::vector<resv::FitQuery> queries;
+    queries.reserve(static_cast<std::size_t>(bound[ti]));
+    for (int np = bound[ti]; np >= 1; --np)
+      queries.push_back(resv::FitQuery::earliest(
+          np, dag::exec_time(dag.cost(task), np), ready));
+    auto fits = profile.fit_many(queries);
+
     int best_np = -1;
     double best_start = 0.0, best_completion = 0.0;
-    for (int np = bound[ti]; np >= 1; --np) {
-      double exec = dag::exec_time(dag.cost(task), np);
-      // exec only grows as np shrinks, so once even an immediate start can't
-      // beat the incumbent, this and every smaller np are dominated.
+    for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+      const int np = queries[qi].procs;
+      const double exec = queries[qi].duration;
       if (best_np > 0 && ready + exec > best_completion) break;
-      auto start = profile.earliest_fit(np, exec, ready);
+      const std::optional<double>& start = fits[qi];
       if (!start) continue;  // np exceeds momentary capacity
       double completion = *start + exec;
       if (best_np < 0 || completion < best_completion ||

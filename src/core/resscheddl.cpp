@@ -21,11 +21,23 @@ struct PairChoice {
 std::optional<PairChoice> latest_pair(const resv::AvailabilityProfile& profile,
                                       const dag::TaskCost& cost, int bound,
                                       double dl, double now) {
+  // Batched through the indexed calendar; the dominance break still governs
+  // which results are consumed. A fit past the break starts at or before
+  // dl − exec(np) < best->start (strictly), so it can never displace the
+  // incumbent and the batch selects exactly what the scan did.
+  std::vector<resv::FitQuery> queries;
+  queries.reserve(static_cast<std::size_t>(bound));
+  for (int np = bound; np >= 1; --np)
+    queries.push_back(
+        resv::FitQuery::latest(np, dag::exec_time(cost, np), dl, now));
+  auto fits = profile.fit_many(queries);
+
   std::optional<PairChoice> best;
-  for (int np = bound; np >= 1; --np) {
-    double exec = dag::exec_time(cost, np);
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    const int np = queries[qi].procs;
+    const double exec = queries[qi].duration;
     if (best && dl - exec < best->start) break;
-    auto start = profile.latest_fit(np, exec, dl, now);
+    const std::optional<double>& start = fits[qi];
     if (!start) continue;
     if (!best || *start > best->start ||
         (*start == best->start && np < best->np))
@@ -44,12 +56,17 @@ std::optional<PairChoice> conservative_pair(
     const resv::AvailabilityProfile& profile, const dag::TaskCost& cost,
     int max_np, double dl, double now, double threshold) {
   if (threshold >= dl) return std::nullopt;
+  std::vector<resv::FitQuery> queries;
+  queries.reserve(static_cast<std::size_t>(max_np));
   for (int np = 1; np <= max_np; ++np) {
     double exec = dag::exec_time(cost, np);
     if (dl - exec < threshold) continue;  // even an empty calendar can't
-    auto start = profile.latest_fit(np, exec, dl, now);
-    if (start && *start >= threshold) return PairChoice{np, *start};
+    queries.push_back(resv::FitQuery::latest(np, exec, dl, now));
   }
+  auto fits = profile.fit_many(queries);
+  for (std::size_t qi = 0; qi < queries.size(); ++qi)
+    if (fits[qi] && *fits[qi] >= threshold)
+      return PairChoice{queries[qi].procs, *fits[qi]};
   return std::nullopt;
 }
 

@@ -6,6 +6,26 @@
 
 namespace resched::core {
 
+double earliest_finish_floor(const dag::Dag& dag,
+                             const resv::AvailabilityProfile& competing,
+                             double now) {
+  std::vector<resv::FitQuery> queries;
+  queries.reserve(static_cast<std::size_t>(dag.size()));
+  for (int task = 0; task < dag.size(); ++task) {
+    double emin = dag::exec_time(dag.cost(task), 1);
+    for (int np = 2; np <= competing.capacity(); ++np)
+      emin = std::min(emin, dag::exec_time(dag.cost(task), np));
+    queries.push_back(resv::FitQuery::earliest(1, emin, now));
+  }
+  auto fits = competing.fit_many(queries);
+  double floor = now;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    RESCHED_ASSERT(fits[i].has_value(), "1-processor fit must always exist");
+    floor = std::max(floor, *fits[i] + queries[i].duration);
+  }
+  return floor;
+}
+
 TightestDeadlineResult tightest_deadline(
     const dag::Dag& dag, const resv::AvailabilityProfile& competing,
     double now, int q_hist, const DeadlineParams& params,
@@ -14,8 +34,15 @@ TightestDeadlineResult tightest_deadline(
                                    params.cpa, guidelines_for(params.algo));
 
   TightestDeadlineResult result;
+  // Quick-infeasible filter: probes below the calendar-aware finish floor
+  // are provably infeasible, so the backward pass is skipped. They still
+  // count (++probes) and return exactly what schedule_deadline returns when
+  // infeasible (a default DeadlineResult), so the search trajectory, probe
+  // counts, and final answer are bit-identical with the filter off.
+  const double finish_floor = earliest_finish_floor(dag, competing, now);
   auto probe = [&](double deadline) {
     ++result.probes;
+    if (deadline < finish_floor) return DeadlineResult{};
     return schedule_deadline(dag, competing, now, q_hist, deadline, params,
                              ctx);
   };

@@ -24,6 +24,16 @@ struct TightestDeadlineResult {
   int probes = 0;               ///< feasibility probes spent
 };
 
+/// Calendar-aware lower bound on any feasible schedule's finish time. Every
+/// task, whatever its allocation, occupies at least one processor for at
+/// least its fastest execution time, and earliest_fit is monotone in the
+/// duration — so each task finishes at or after the earliest 1-processor
+/// window of that fastest time, and no deadline below the latest such
+/// finish can be met. One batched earliest-fit query per task (fit_many).
+double earliest_finish_floor(const dag::Dag& dag,
+                             const resv::AvailabilityProfile& competing,
+                             double now);
+
 /// Finds the tightest deadline `params.algo` can meet at time `now`.
 TightestDeadlineResult tightest_deadline(
     const dag::Dag& dag, const resv::AvailabilityProfile& competing,

@@ -131,8 +131,16 @@ void SchedulerService::schedule_job(const JobSubmission& job, double t,
     return;
   }
 
-  auto dl = core::schedule_deadline(job.dag, profile_, t, q_hist,
-                                    *job.deadline, config_.deadline);
+  // Batched admission pre-filter: one earliest-fit query per task (through
+  // fit_many inside earliest_finish_floor) lower-bounds every task's finish
+  // on the live calendar. A requested deadline below the floor is provably
+  // unmeetable, so the full backward pass is skipped and the submission
+  // goes straight to rejection or counter-offer — exactly where the failed
+  // pass would have sent it.
+  core::DeadlineResult dl;
+  if (*job.deadline >= core::earliest_finish_floor(job.dag, profile_, t))
+    dl = core::schedule_deadline(job.dag, profile_, t, q_hist, *job.deadline,
+                                 config_.deadline);
   if (dl.feasible) {
     commit_schedule(job, t, seq, dl.schedule, Decision::kAccepted, kNaN);
     return;

@@ -10,18 +10,26 @@
 //   * latest_fit   — the latest such start finishing by `deadline`
 //     (RESSCHEDDL backward scheduling, §5.2).
 //
-// Both queries are exact scans over the O(R) breakpoints, not heuristics.
+// Both queries are exact, not heuristics, and since the indexed rewrite
+// they run as O(log n) amortized descents over a treap of the availability
+// steps (resv::StepIndex) instead of linear scans over every breakpoint —
+// the index skips uniform stretches of calendar wholesale and is maintained
+// incrementally through add/release/commit/rollback/compact, so the online
+// engine and every §4/§5 algorithm benefit without call-site changes. The
+// legacy linear scan survives as resv::LinearProfile, the differential-test
+// oracle: both implementations return byte-identical fit results.
 // Over-subscribed instants (more reserved than capacity, possible when
 // synthetic transforms inject reservations) clamp to zero availability.
 #pragma once
 
-#include <map>
 #include <optional>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "src/resv/fit_query.hpp"
 #include "src/resv/reservation.hpp"
+#include "src/resv/step_index.hpp"
 
 namespace resched::resv {
 
@@ -65,8 +73,7 @@ class AvailabilityProfile {
   };
 
   /// Adds every reservation in `rs` and returns a token that can undo the
-  /// whole group. O(|rs| log R + |rs| K) with K the breakpoints spanned —
-  /// no profile rebuild.
+  /// whole group. O(|rs| log R) — no profile rebuild.
   CommitToken commit(std::span<const Reservation> rs);
 
   /// Undoes a commit(): releases every reservation recorded in the token
@@ -95,6 +102,13 @@ class AvailabilityProfile {
   std::optional<double> latest_fit(int procs, double duration, double deadline,
                                    double not_before) const;
 
+  /// Batch form: answers queries[i] with the matching earliest_fit /
+  /// latest_fit against this calendar snapshot. Used by the RESSCHED
+  /// allocation sweep (one query per candidate processor count) and the
+  /// online admission pre-filter (one query per task).
+  std::vector<std::optional<double>> fit_many(
+      std::span<const FitQuery> queries) const;
+
   /// Time-average of available processors over [from, to), from < to.
   double average_available(double from, double to) const;
 
@@ -117,9 +131,7 @@ class AvailabilityProfile {
   std::vector<std::pair<double, int>> canonical_steps() const;
 
  private:
-  // steps_[t] = raw availability from time t until the next key. The map
-  // always holds a -infinity sentinel, so lookups never fall off the front.
-  std::map<double, int> steps_;
+  StepIndex index_;  // treap over the availability steps; -inf sentinel
   int capacity_;
   int reservation_count_ = 0;
 };

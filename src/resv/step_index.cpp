@@ -1,0 +1,408 @@
+#include "src/resv/step_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "src/util/error.hpp"
+
+namespace resched::resv {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+constexpr double kPosInf = std::numeric_limits<double>::infinity();
+
+std::uint64_t splitmix(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+struct StepIndex::Node {
+  double key;
+  std::uint64_t prio;
+  int value;    // segment value; stale by the sum of ancestors' pending
+  int min_val;  // subtree aggregates, same staleness convention
+  int max_val;
+  double min_key;  // leftmost key in subtree (lazy-independent)
+  int pending = 0;
+  Node* l = nullptr;
+  Node* r = nullptr;
+
+  Node(double k, int v, std::uint64_t p)
+      : key(k), prio(p), value(v), min_val(v), max_val(v), min_key(k) {}
+};
+
+StepIndex::StepIndex(int base_value) : prio_state_(0x5eedc0ffee15900dULL) {
+  root_ = new Node(kNegInf, base_value, next_prio());
+  size_ = 1;
+}
+
+StepIndex::StepIndex(const StepIndex& other)
+    : root_(clone(other.root_)),
+      size_(other.size_),
+      prio_state_(other.prio_state_) {}
+
+StepIndex& StepIndex::operator=(const StepIndex& other) {
+  if (this == &other) return *this;
+  destroy(root_);
+  root_ = clone(other.root_);
+  size_ = other.size_;
+  prio_state_ = other.prio_state_;
+  return *this;
+}
+
+StepIndex::StepIndex(StepIndex&& other) noexcept
+    : root_(std::exchange(other.root_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      prio_state_(other.prio_state_) {}
+
+StepIndex& StepIndex::operator=(StepIndex&& other) noexcept {
+  if (this == &other) return *this;
+  destroy(root_);
+  root_ = std::exchange(other.root_, nullptr);
+  size_ = std::exchange(other.size_, 0);
+  prio_state_ = other.prio_state_;
+  return *this;
+}
+
+StepIndex::~StepIndex() { destroy(root_); }
+
+std::uint64_t StepIndex::next_prio() { return splitmix(prio_state_); }
+
+void StepIndex::destroy(Node* n) {
+  if (!n) return;
+  destroy(n->l);
+  destroy(n->r);
+  delete n;
+}
+
+StepIndex::Node* StepIndex::clone(const Node* n) {
+  if (!n) return nullptr;
+  Node* c = new Node(*n);
+  c->l = clone(n->l);
+  c->r = clone(n->r);
+  return c;
+}
+
+void StepIndex::apply(Node* n, int delta) {
+  if (!n || delta == 0) return;
+  n->value += delta;
+  n->min_val += delta;
+  n->max_val += delta;
+  n->pending += delta;
+}
+
+void StepIndex::push(Node* n) {
+  if (n->pending != 0) {
+    apply(n->l, n->pending);
+    apply(n->r, n->pending);
+    n->pending = 0;
+  }
+}
+
+void StepIndex::pull(Node* n) {
+  // Valid only when n->pending == 0 (children fields otherwise stale).
+  n->min_val = n->value;
+  n->max_val = n->value;
+  n->min_key = n->key;
+  if (n->l) {
+    n->min_val = std::min(n->min_val, n->l->min_val);
+    n->max_val = std::max(n->max_val, n->l->max_val);
+    n->min_key = n->l->min_key;
+  }
+  if (n->r) {
+    n->min_val = std::min(n->min_val, n->r->min_val);
+    n->max_val = std::max(n->max_val, n->r->max_val);
+  }
+}
+
+StepIndex::Node* StepIndex::merge(Node* a, Node* b) {
+  if (!a) return b;
+  if (!b) return a;
+  if (a->prio >= b->prio) {
+    push(a);
+    a->r = merge(a->r, b);
+    pull(a);
+    return a;
+  }
+  push(b);
+  b->l = merge(a, b->l);
+  pull(b);
+  return b;
+}
+
+void StepIndex::split(Node* t, double key, bool keep_equal_left, Node*& a,
+                      Node*& b) {
+  if (!t) {
+    a = b = nullptr;
+    return;
+  }
+  push(t);
+  bool to_left = keep_equal_left ? (t->key <= key) : (t->key < key);
+  if (to_left) {
+    split(t->r, key, keep_equal_left, t->r, b);
+    a = t;
+    pull(a);
+  } else {
+    split(t->l, key, keep_equal_left, a, t->l);
+    b = t;
+    pull(b);
+  }
+}
+
+int StepIndex::value_at(double t) const {
+  const Node* n = root_;
+  int acc = 0;
+  int best = 0;
+  bool found = false;
+  while (n) {
+    if (n->key <= t) {
+      best = n->value + acc;
+      found = true;
+      acc += n->pending;
+      n = n->r;
+    } else {
+      acc += n->pending;
+      n = n->l;
+    }
+  }
+  RESCHED_ASSERT(found, "step index lost its -inf sentinel");
+  return best;
+}
+
+bool StepIndex::contains_key(double t) const {
+  const Node* n = root_;
+  while (n) {
+    if (n->key == t) return true;
+    n = t < n->key ? n->l : n->r;
+  }
+  return false;
+}
+
+void StepIndex::insert(double key, int value) {
+  Node *a, *b;
+  split(root_, key, /*keep_equal_left=*/false, a, b);
+  root_ = merge(merge(a, new Node(key, value, next_prio())), b);
+  ++size_;
+}
+
+void StepIndex::erase(double key) {
+  Node *a, *rest, *mid, *b;
+  split(root_, key, /*keep_equal_left=*/false, a, rest);
+  split(rest, key, /*keep_equal_left=*/true, mid, b);
+  RESCHED_ASSERT(mid && !mid->l && !mid->r, "erase of an absent breakpoint");
+  delete mid;
+  --size_;
+  root_ = merge(a, b);
+}
+
+void StepIndex::ensure_key(double t) {
+  if (contains_key(t)) return;
+  insert(t, value_at(t));
+}
+
+void StepIndex::range_add(double start, double end, int delta) {
+  ensure_key(start);
+  ensure_key(end);
+  Node *a, *rest, *mid, *b;
+  split(root_, start, /*keep_equal_left=*/false, a, rest);
+  split(rest, end, /*keep_equal_left=*/false, mid, b);
+  apply(mid, delta);
+  root_ = merge(a, merge(mid, b));
+}
+
+void StepIndex::coalesce_at(double t) {
+  if (t == kNegInf || !contains_key(t)) return;
+  // Predecessor value: the segment just before t.
+  const Node* n = root_;
+  int acc = 0;
+  bool have_pred = false;
+  int pred = 0;
+  int at = 0;
+  while (n) {
+    if (n->key < t) {
+      pred = n->value + acc;
+      have_pred = true;
+      acc += n->pending;
+      n = n->r;
+    } else {
+      if (n->key == t) at = n->value + acc;
+      acc += n->pending;
+      n = n->l;
+    }
+  }
+  RESCHED_ASSERT(have_pred, "finite breakpoint without a predecessor");
+  if (pred == at) erase(t);
+}
+
+void StepIndex::compact(double horizon) {
+  int value_at_horizon = value_at(horizon);
+  Node *dropped, *kept;
+  split(root_, horizon, /*keep_equal_left=*/true, dropped, kept);
+  std::size_t dropped_count = 0;
+  auto count = [&dropped_count](auto&& self, const Node* n) -> void {
+    if (!n) return;
+    ++dropped_count;
+    self(self, n->l);
+    self(self, n->r);
+  };
+  count(count, dropped);
+  destroy(dropped);
+  size_ -= dropped_count;
+
+  Node* sentinel = new Node(kNegInf, value_at_horizon, next_prio());
+  ++size_;
+  // The first surviving breakpoint may now repeat the sentinel's value.
+  if (kept && kept->min_key != kNegInf) {
+    double first = kept->min_key;
+    root_ = merge(sentinel, kept);
+    coalesce_at(first);
+    return;
+  }
+  root_ = merge(sentinel, kept);
+}
+
+std::optional<double> StepIndex::earliest_fit(int procs, double duration,
+                                              double not_before) const {
+  struct Scan {
+    int procs;
+    double duration, not_before;
+    std::optional<double> run_start;
+    bool done = false;
+    std::optional<double> answer;
+  } s{procs, duration, not_before, std::nullopt, false, std::nullopt};
+
+  // bound = end of the subtree's last segment (the key of the next
+  // breakpoint after the subtree, +inf at the far right); acc = sum of
+  // un-pushed ancestor pendings.
+  auto scan = [&s](auto&& self, const Node* n, int acc, double bound) -> void {
+    if (!n || s.done) return;
+    if (bound <= s.not_before) return;  // every segment ends before the query
+    int tree_min = n->min_val + acc;
+    int tree_max = n->max_val + acc;
+    if (tree_min >= s.procs) {  // feasible end to end: one run to `bound`
+      double seg_start = std::max(n->min_key, s.not_before);
+      if (!s.run_start) s.run_start = seg_start;
+      if (*s.run_start + s.duration <= bound) {
+        s.done = true;
+        s.answer = s.run_start;
+      }
+      return;
+    }
+    if (tree_max < s.procs) {  // no feasible instant anywhere inside
+      s.run_start.reset();
+      return;
+    }
+    int child_acc = acc + n->pending;
+    self(self, n->l, child_acc, n->key);
+    if (s.done) return;
+    double self_end = n->r ? n->r->min_key : bound;
+    if (self_end > s.not_before) {
+      double seg_start = std::max(n->key, s.not_before);
+      if (n->value + acc >= s.procs) {
+        if (!s.run_start) s.run_start = seg_start;
+        if (*s.run_start + s.duration <= self_end) {
+          s.done = true;
+          s.answer = s.run_start;
+          return;
+        }
+      } else {
+        s.run_start.reset();
+      }
+    }
+    self(self, n->r, child_acc, bound);
+  };
+  scan(scan, root_, 0, kPosInf);
+  return s.done ? s.answer : std::nullopt;
+}
+
+std::optional<double> StepIndex::latest_fit(int procs, double duration,
+                                            double deadline,
+                                            double not_before) const {
+  struct Scan {
+    int procs;
+    double duration, deadline, not_before;
+    std::optional<double> run_end;
+    bool done = false;
+    std::optional<double> answer;
+  } s{procs, duration, deadline, not_before, std::nullopt, false, std::nullopt};
+
+  // Mirrors the linear backward scan, including its one-ulp nudge so the
+  // returned window never overhangs a reservation starting at run_end.
+  auto nudged_start = [&s]() {
+    double start = *s.run_end - s.duration;
+    while (start + s.duration > *s.run_end)
+      start = std::nextafter(start, -std::numeric_limits<double>::infinity());
+    return start;
+  };
+  // Processes a feasible span whose left edge is `left` and whose run end
+  // (shared with any feasible segments already seen to the right) is
+  // s.run_end; sets done when the scan can conclude.
+  auto feasible_span = [&s, &nudged_start](double left, double span_end) {
+    if (!s.run_end) s.run_end = span_end;
+    double start = nudged_start();
+    if (start >= left) {
+      s.done = true;
+      s.answer = start >= s.not_before ? std::optional<double>(start)
+                                       : std::nullopt;
+      return;
+    }
+    if (*s.run_end - s.duration < s.not_before) {
+      s.done = true;  // run ends can only move earlier from here on
+      s.answer = std::nullopt;
+    }
+  };
+
+  auto scan = [&](auto&& self, const Node* n, int acc, double bound) -> void {
+    if (!n || s.done) return;
+    if (n->min_key >= s.deadline) return;  // clamped empty by the deadline
+    int tree_min = n->min_val + acc;
+    int tree_max = n->max_val + acc;
+    if (tree_min >= s.procs) {
+      feasible_span(n->min_key, std::min(bound, s.deadline));
+      return;
+    }
+    if (tree_max < s.procs) {  // at least one non-empty infeasible segment
+      s.run_end.reset();
+      return;
+    }
+    int child_acc = acc + n->pending;
+    self(self, n->r, child_acc, bound);
+    if (s.done) return;
+    double self_end =
+        std::min(n->r ? n->r->min_key : bound, s.deadline);
+    if (n->key < self_end) {  // non-empty after the deadline clamp
+      if (n->value + acc >= s.procs) {
+        feasible_span(n->key, self_end);
+        if (s.done) return;
+      } else {
+        s.run_end.reset();
+      }
+    }
+    self(self, n->l, child_acc, n->key);
+  };
+  scan(scan, root_, 0, kPosInf);
+  return s.done ? s.answer : std::nullopt;
+}
+
+void StepIndex::for_each_segment(
+    double from, double to,
+    const std::function<void(double, double, int)>& fn) const {
+  auto walk = [&](auto&& self, const Node* n, int acc, double bound) -> void {
+    if (!n) return;
+    if (bound <= from) return;      // all segments end at or before `from`
+    if (n->min_key >= to) return;   // all segments start at or after `to`
+    int child_acc = acc + n->pending;
+    self(self, n->l, child_acc, n->key);
+    double self_end = n->r ? n->r->min_key : bound;
+    if (self_end > from && n->key < to) fn(n->key, self_end, n->value + acc);
+    self(self, n->r, child_acc, bound);
+  };
+  walk(walk, root_, 0, kPosInf);
+}
+
+}  // namespace resched::resv

@@ -1,0 +1,109 @@
+// Indexed piecewise-constant step function over time.
+//
+// StepIndex is the query engine behind resv::AvailabilityProfile: a
+// randomized balanced search tree (treap) over the step-function
+// breakpoints, augmented per subtree with
+//
+//   * min/max value       — prunes whole subtrees during fit descents:
+//                           a subtree with max < procs holds no feasible
+//                           instant, one with min >= procs is feasible
+//                           end to end;
+//   * leftmost key        — gives every subtree its covered time range
+//                           [min_key, bound) without extra traversal;
+//   * a lazy add delta    — reservation add/release is a range update over
+//                           [start, end), applied to O(log n) subtrees.
+//
+// earliest_fit / latest_fit run the same contiguous-run scan as the legacy
+// linear implementation (resv::LinearProfile, kept as the differential-test
+// oracle) but skip uniform stretches of calendar wholesale, so a query
+// costs O(log n) amortized instead of a walk over every breakpoint between
+// the query origin and the answer. All read-only queries thread the
+// pending lazy deltas through an accumulator instead of pushing them, so
+// they never mutate the tree and stay const.
+//
+// The arithmetic performed on segment boundaries is operation-for-operation
+// identical to the linear scan (same max/min clamps, same one-ulp nudge in
+// latest_fit), which is what makes byte-identical differential testing
+// against LinearProfile possible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+namespace resched::resv {
+
+class StepIndex {
+ public:
+  /// One segment [-inf, +inf) at `base_value`.
+  explicit StepIndex(int base_value);
+  StepIndex(const StepIndex& other);
+  StepIndex& operator=(const StepIndex& other);
+  StepIndex(StepIndex&& other) noexcept;
+  StepIndex& operator=(StepIndex&& other) noexcept;
+  ~StepIndex();
+
+  /// Number of breakpoints, including the -inf sentinel.
+  std::size_t size() const { return size_; }
+
+  /// Value of the segment containing t.
+  int value_at(double t) const;
+
+  /// Adds `delta` to every segment intersecting [start, end), materializing
+  /// breakpoints at both ends first. O(log n).
+  void range_add(double start, double end, int delta);
+
+  /// Drops the breakpoint at t when its value equals its predecessor's
+  /// (no-op when t is absent, the sentinel, or a genuine step). O(log n).
+  void coalesce_at(double t);
+
+  /// Erases breakpoints at or before `horizon` and pins the sentinel to the
+  /// value that held at `horizon`; coalesces the first surviving breakpoint
+  /// when it became redundant. O(log n) plus the freed nodes.
+  void compact(double horizon);
+
+  /// Earliest start >= not_before of a window of `duration` seconds whose
+  /// every segment has value >= procs; nullopt when no such window exists
+  /// (only possible when the final segment's value is < procs).
+  std::optional<double> earliest_fit(int procs, double duration,
+                                     double not_before) const;
+
+  /// Latest start with start >= not_before, start + duration <= deadline,
+  /// and value >= procs throughout; nullopt when no such window exists.
+  std::optional<double> latest_fit(int procs, double duration, double deadline,
+                                   double not_before) const;
+
+  /// In-order walk over the segments intersecting [from, to): fn(seg_start,
+  /// seg_end, value) with seg_start the breakpoint (unclamped, -inf for the
+  /// sentinel) and seg_end the next breakpoint (+inf for the last). Pass
+  /// (-inf, +inf) to walk everything.
+  void for_each_segment(
+      double from, double to,
+      const std::function<void(double, double, int)>& fn) const;
+
+ private:
+  struct Node;
+
+  static void destroy(Node* n);
+  static Node* clone(const Node* n);
+  static void apply(Node* n, int delta);
+  static void push(Node* n);
+  static void pull(Node* n);
+  static Node* merge(Node* a, Node* b);
+  static void split(Node* t, double key, bool keep_equal_left, Node*& a,
+                    Node*& b);
+
+  bool contains_key(double t) const;
+  void insert(double key, int value);
+  void erase(double key);
+  /// Materializes a breakpoint at t (value copied from its segment).
+  void ensure_key(double t);
+
+  std::uint64_t next_prio();
+
+  Node* root_ = nullptr;
+  std::size_t size_ = 0;
+  std::uint64_t prio_state_;
+};
+
+}  // namespace resched::resv

@@ -1,58 +1,9 @@
 #include "src/sim/runner.hpp"
 
-#include <atomic>
-#include <exception>
-#include <mutex>
-#include <thread>
-#include <vector>
-
-#include "src/util/error.hpp"
-
 namespace resched::sim {
 
 void parallel_for(int n, int threads, const std::function<void(int)>& fn) {
-  RESCHED_CHECK(n >= 0, "parallel_for needs n >= 0");
-  RESCHED_CHECK(threads >= 1, "parallel_for needs at least one thread");
-  if (n == 0) return;
-  if (threads == 1 || n == 1) {
-    for (int i = 0; i < n; ++i) fn(i);
-    return;
-  }
-
-  std::atomic<int> next{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  int first_error_index = n;
-  std::mutex error_mutex;
-
-  // Indices are claimed in ascending order, so the lowest throwing index is
-  // always claimed (and hence executed) before any thrower can raise the
-  // failed flag — keeping "first exception wins" deterministic: the
-  // in-flight cell with the smallest index that throws is the one whose
-  // exception propagates, independent of thread count and scheduling.
-  auto worker = [&] {
-    while (!failed.load(std::memory_order_relaxed)) {
-      int i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
-      try {
-        fn(i);
-      } catch (...) {
-        failed.store(true, std::memory_order_relaxed);
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (i < first_error_index) {
-          first_error_index = i;
-          first_error = std::current_exception();
-        }
-      }
-    }
-  };
-
-  int workers = std::min(threads, n);
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(workers));
-  for (int t = 0; t < workers; ++t) pool.emplace_back(worker);
-  for (auto& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  detail::parallel_for_impl(n, threads, fn);
 }
 
 }  // namespace resched::sim

@@ -13,6 +13,7 @@
 #include "src/dag/daggen.hpp"
 #include "src/icaslb/icaslb.hpp"
 #include "src/multi/deadline_multi.hpp"
+#include "src/resv/linear_profile.hpp"
 #include "src/util/rng.hpp"
 
 namespace {
@@ -161,5 +162,91 @@ TEST_P(FuzzSweep, MultiClusterSchedulersStayValid) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep, ::testing::Range(0, 15));
+
+// Calendar fuzz: adversarial reservation calendars aimed at the indexed
+// profile — zero-proc no-ops, exactly boundary-abutting blocks, heavy
+// overlap stacks, sliver durations, and interleaved release/compact — each
+// checked against the linear-scan oracle with a dense fit-probe battery.
+// Runs under the RESCHED_SANITIZE=address CI job like the rest of the suite.
+class CalendarFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CalendarFuzz, AdversarialCalendarsMatchTheLinearOracle) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  util::Rng rng(util::derive_seed(0xCA1F, {seed}));
+
+  const int p = static_cast<int>(rng.uniform_int(1, 48));
+  resv::AvailabilityProfile indexed(p);
+  resv::LinearProfile oracle(p);
+  std::vector<resv::Reservation> live;
+
+  auto apply = [&](const resv::Reservation& r) {
+    indexed.add(r);
+    oracle.add(r);
+    live.push_back(r);
+  };
+
+  const int rounds = 120;
+  for (int i = 0; i < rounds; ++i) {
+    double dice = rng.uniform(0.0, 1.0);
+    if (dice < 0.55 || live.empty()) {
+      double start = rng.uniform(-10.0, 80.0) * 3600.0;
+      double dur = rng.bernoulli(0.25) ? rng.uniform(1e-9, 1e-3)  // sliver
+                                       : rng.uniform(0.2, 12.0) * 3600.0;
+      // Zero-proc reservations must be exact no-ops in both implementations.
+      int procs = static_cast<int>(rng.uniform_int(0, p + p / 2 + 1));
+      apply({start, start + dur, procs});
+      if (rng.bernoulli(0.4)) {
+        // Abut exactly at the previous end — no gap, no overlap.
+        double dur2 = rng.uniform(0.2, 6.0) * 3600.0;
+        apply({start + dur, start + dur + dur2,
+               static_cast<int>(rng.uniform_int(0, p))});
+      }
+      if (rng.bernoulli(0.3)) {
+        // Stack an overlapping block straddling the same window.
+        apply({start - 1800.0, start + dur / 2,
+               static_cast<int>(rng.uniform_int(1, p))});
+      }
+    } else if (dice < 0.8) {
+      std::size_t pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      indexed.release(live[pick]);
+      oracle.release(live[pick]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else if (dice < 0.9) {
+      double horizon = rng.uniform(-12.0, 40.0) * 3600.0;
+      indexed.compact(horizon);
+      oracle.compact(horizon);
+      live.erase(std::remove_if(live.begin(), live.end(),
+                                [&](const resv::Reservation& r) {
+                                  return r.start < horizon;
+                                }),
+                 live.end());
+    } else {
+      // Zero-length reservations are rejected identically by both.
+      double t = rng.uniform(0.0, 40.0) * 3600.0;
+      EXPECT_THROW(indexed.add({t, t, 2}), resched::Error);
+      EXPECT_THROW(oracle.add({t, t, 2}), resched::Error);
+    }
+
+    ASSERT_EQ(oracle.canonical_steps(), indexed.canonical_steps())
+        << "seed " << seed << " round " << i;
+    for (int probe = 0; probe < 6; ++probe) {
+      int procs = static_cast<int>(rng.uniform_int(1, p));
+      double duration = rng.uniform(1.0, 20.0 * 3600.0);
+      double not_before = rng.uniform(-20.0, 90.0) * 3600.0;
+      double deadline = not_before + rng.uniform(0.0, 40.0) * 3600.0;
+      ASSERT_EQ(oracle.earliest_fit(procs, duration, not_before),
+                indexed.earliest_fit(procs, duration, not_before))
+          << "seed " << seed << " round " << i << " procs " << procs
+          << " duration " << duration << " not_before " << not_before;
+      ASSERT_EQ(oracle.latest_fit(procs, duration, deadline, not_before),
+                indexed.latest_fit(procs, duration, deadline, not_before))
+          << "seed " << seed << " round " << i << " procs " << procs
+          << " duration " << duration << " deadline " << deadline;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CalendarFuzz, ::testing::Range(0, 12));
 
 }  // namespace

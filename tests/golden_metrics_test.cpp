@@ -1,0 +1,173 @@
+// Golden-value regression suite: pins exact Table 4/6-style metric outputs
+// (turn-around, CPU-hours, tightest deadlines, probe counts) and online
+// acceptance statistics, so structural changes to the reservation calendar
+// (e.g. the indexed fit-query layer) provably change no schedule.
+//
+// The expected values live in golden_metrics_expected.inc as hexfloat
+// literals (bit-exact). To regenerate after an *intentional* behaviour
+// change, build this file with -DGOLDEN_GENERATE and a plain main:
+//
+//   g++ -std=c++20 -O2 -I. -DGOLDEN_GENERATE tests/golden_metrics_test.cpp
+//       <resched libs> -o golden_gen; ./golden_gen > tests/golden_metrics_expected.inc
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "src/core/algorithms.hpp"
+#include "src/core/tightest_deadline.hpp"
+#include "src/dag/daggen.hpp"
+#include "src/online/service.hpp"
+#include "src/sim/experiment.hpp"
+#include "src/sim/scenario.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace resched;
+
+// Table 4-style sweep: every BL_x_BD_y combination over four materialized
+// instances drawn from two synthetic-grid scenarios. Emits (turn-around,
+// CPU-hours) per run.
+std::vector<double> ressched_metrics() {
+  std::vector<double> out;
+  auto scenarios = sim::synthetic_grid(1);
+  auto algos = core::all_ressched_algorithms();
+  for (int s : {0, 7}) {
+    for (int inst_idx = 0; inst_idx < 2; ++inst_idx) {
+      auto inst = sim::make_instance(scenarios[static_cast<std::size_t>(s)],
+                                     inst_idx, 1 - inst_idx, 42);
+      for (const auto& algo : algos) {
+        auto r = core::schedule_ressched(inst.dag, inst.profile, inst.now,
+                                         inst.q_hist, algo.params);
+        out.push_back(r.turnaround);
+        out.push_back(r.cpu_hours);
+      }
+    }
+  }
+  return out;
+}
+
+// Table 6-style sweep: each deadline algorithm's tightest deadline on one
+// instance. Emits (deadline, finish, CPU-hours, probes) per algorithm —
+// probe counts pin the bisection trajectory, not just its endpoint.
+std::vector<double> deadline_metrics() {
+  std::vector<double> out;
+  auto scenarios = sim::synthetic_grid(1);
+  auto inst = sim::make_instance(scenarios[3], 0, 1, 42);
+  for (const auto& algo : core::table6_algorithms()) {
+    auto tight = core::tightest_deadline(inst.dag, inst.profile, inst.now,
+                                         inst.q_hist, algo.params);
+    out.push_back(tight.deadline);
+    out.push_back(tight.at_deadline.feasible
+                      ? tight.at_deadline.schedule.finish_time()
+                      : -1.0);
+    out.push_back(tight.at_deadline.feasible ? tight.at_deadline.cpu_hours
+                                             : -1.0);
+    out.push_back(static_cast<double>(tight.probes));
+  }
+  return out;
+}
+
+// Online acceptance run: a deterministic stream of best-effort and deadline
+// jobs (some deliberately infeasible) plus external reservations on a
+// 32-processor platform. Emits decision counts, rates, aggregate service
+// metrics, and every outcome's decision/finish.
+std::vector<double> online_metrics() {
+  online::ServiceConfig config;
+  config.capacity = 32;
+  config.counter_offer_limit = 4.0;
+  online::SchedulerService service(config);
+
+  for (int i = 0; i < 4; ++i) {
+    double start = 600.0 * (i + 1);
+    service.submit_reservation(
+        0.0, {start, start + 1800.0 * (i + 1), 4 + 6 * (i % 3)});
+  }
+  for (int job = 0; job < 24; ++job) {
+    dag::DagSpec spec;
+    spec.num_tasks = 3 + (job * 7) % 12;
+    spec.alpha_max = 0.2;
+    spec.width = 0.3 + 0.05 * (job % 8);
+    spec.density = 0.4;
+    spec.regularity = 0.5;
+    spec.jump = 1 + job % 2;
+    util::Rng job_rng(util::derive_seed(0xD1CE, {static_cast<std::uint64_t>(job)}));
+    dag::Dag dag = dag::generate(spec, job_rng);
+    double submit = 120.0 * job;
+    std::optional<double> deadline;
+    if (job % 3 == 1) deadline = submit + 900.0 + 60.0 * job;   // tight-ish
+    if (job % 3 == 2) deadline = submit + 40000.0;              // loose
+    service.submit({job, submit, std::move(dag), deadline});
+  }
+  service.run_all();
+
+  const online::OnlineMetrics& m = service.metrics();
+  std::vector<double> out;
+  out.push_back(m.submitted());
+  out.push_back(m.accepted());
+  out.push_back(m.counter_offered());
+  out.push_back(m.rejected());
+  out.push_back(m.acceptance_rate());
+  out.push_back(m.mean_turnaround());
+  out.push_back(m.total_cpu_hours());
+  out.push_back(m.utilization(0.0, 40000.0));
+  for (const auto& outcome : service.outcomes()) {
+    out.push_back(static_cast<double>(outcome.decision));
+    out.push_back(std::isnan(outcome.finish) ? -1.0 : outcome.finish);
+  }
+  return out;
+}
+
+}  // namespace
+
+#ifdef GOLDEN_GENERATE
+
+namespace {
+void emit(const char* name, const std::vector<double>& values) {
+  std::printf("inline constexpr double %s[] = {\n", name);
+  for (double v : values) std::printf("    %a,\n", v);
+  std::printf("};\n");
+}
+}  // namespace
+
+int main() {
+  std::printf(
+      "// Generated by golden_metrics_test.cpp with -DGOLDEN_GENERATE.\n"
+      "// Hexfloat literals: values are pinned bit-exactly.\n");
+  emit("kGoldenRessched", ressched_metrics());
+  emit("kGoldenDeadline", deadline_metrics());
+  emit("kGoldenOnline", online_metrics());
+  return 0;
+}
+
+#else  // !GOLDEN_GENERATE
+
+#include <gtest/gtest.h>
+
+#include "tests/golden_metrics_expected.inc"
+
+namespace {
+
+template <std::size_t N>
+void expect_bit_exact(const double (&expected)[N],
+                      const std::vector<double>& actual) {
+  ASSERT_EQ(N, actual.size());
+  for (std::size_t i = 0; i < N; ++i)
+    EXPECT_EQ(expected[i], actual[i]) << "index " << i;
+}
+
+TEST(GoldenMetrics, Table4ResschedTurnaroundAndCpuHoursUnchanged) {
+  expect_bit_exact(kGoldenRessched, ressched_metrics());
+}
+
+TEST(GoldenMetrics, Table6TightestDeadlinesAndProbeCountsUnchanged) {
+  expect_bit_exact(kGoldenDeadline, deadline_metrics());
+}
+
+TEST(GoldenMetrics, OnlineAcceptanceAndServiceMetricsUnchanged) {
+  expect_bit_exact(kGoldenOnline, online_metrics());
+}
+
+}  // namespace
+
+#endif  // GOLDEN_GENERATE

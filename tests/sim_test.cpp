@@ -83,6 +83,46 @@ TEST(ParallelFor, ValidatesArguments) {
   EXPECT_THROW(sim::parallel_for(1, 0, [](int) {}), resched::Error);
 }
 
+TEST(ParallelFor, BothOverloadsObserveFirstExceptionWins) {
+  // The bare-lambda call dispatches through the templated overload (no
+  // type erasure); wrapping the same callable in std::function selects the
+  // non-template overload. Both must honour the identical contract: the
+  // exception from the lowest throwing index propagates.
+  auto cell = [](int i) {
+    if (i >= 23) throw resched::Error("cell " + std::to_string(i));
+  };
+  for (int threads : {2, 8}) {
+    for (int rep = 0; rep < 5; ++rep) {
+      try {
+        sim::parallel_for(80, threads, cell);  // templated overload
+        FAIL() << "expected an exception";
+      } catch (const resched::Error& e) {
+        EXPECT_STREQ(e.what(), "cell 23") << "template, threads=" << threads;
+      }
+      try {
+        std::function<void(int)> erased = cell;
+        sim::parallel_for(80, threads, erased);  // std::function overload
+        FAIL() << "expected an exception";
+      } catch (const resched::Error& e) {
+        EXPECT_STREQ(e.what(), "cell 23") << "erased, threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(ParallelFor, TemplatedOverloadRunsStatefulFunctorsInPlace) {
+  // A mutable functor passed by lvalue must be invoked in place (by
+  // reference), not through a copy — its observed state survives the call.
+  struct Counter {
+    std::atomic<int>* hits;
+    void operator()(int) const { ++*hits; }
+  };
+  std::atomic<int> hits{0};
+  Counter counter{&hits};
+  sim::parallel_for(64, 4, counter);
+  EXPECT_EQ(64, hits.load());
+}
+
 TEST(DegradationAggregator, HandComputedValues) {
   sim::DegradationAggregator agg(3);
   agg.add_instance(std::vector<double>{10.0, 12.0, 20.0});
