@@ -5,9 +5,11 @@ Usage: check_bench_regression.py BASELINE.json CURRENT.json [--factor 2.0]
 
 Fails (exit 1) when any benchmark present in both files is slower than
 `factor` times its baseline real_time, or when the current run is missing a
-baseline benchmark. Also enforces the indexed calendar's acceptance bar:
-indexed earliest_fit at 10k reservations must beat the linear oracle by at
-least 5x *within the current run* (so machine speed cancels out).
+baseline benchmark. When the baseline contains the indexed-vs-linear
+speedup pair, also enforces the indexed calendar's acceptance bar: indexed
+earliest_fit at 10k reservations must beat the linear oracle by at least
+5x *within the current run* (so machine speed cancels out). Baselines
+without those benchmarks (e.g. the RESSCHED smoke gate) skip the bar.
 """
 
 import argparse
@@ -54,15 +56,17 @@ def main():
                 f"{name}: {ratio:.2f}x slower than baseline"
                 f" (limit {args.factor:.2f}x)")
 
-    if SPEEDUP_NUM in current and SPEEDUP_DEN in current:
-        speedup = current[SPEEDUP_NUM] / current[SPEEDUP_DEN]
-        print(f"earliest_fit speedup over the linear oracle at 10k:"
-              f" {speedup:.1f}x (required >= {SPEEDUP_MIN}x)")
-        if speedup < SPEEDUP_MIN:
-            failures.append(
-                f"index speedup {speedup:.1f}x below the {SPEEDUP_MIN}x bar")
-    else:
-        failures.append("speedup benchmarks missing from the current run")
+    if SPEEDUP_NUM in baseline and SPEEDUP_DEN in baseline:
+        if SPEEDUP_NUM in current and SPEEDUP_DEN in current:
+            speedup = current[SPEEDUP_NUM] / current[SPEEDUP_DEN]
+            print(f"earliest_fit speedup over the linear oracle at 10k:"
+                  f" {speedup:.1f}x (required >= {SPEEDUP_MIN}x)")
+            if speedup < SPEEDUP_MIN:
+                failures.append(
+                    f"index speedup {speedup:.1f}x below the"
+                    f" {SPEEDUP_MIN}x bar")
+        else:
+            failures.append("speedup benchmarks missing from the current run")
 
     if failures:
         print("\nbenchmark regression check FAILED:", file=sys.stderr)

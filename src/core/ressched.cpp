@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/obs.hpp"
 #include "src/util/error.hpp"
 
 namespace resched::core {
@@ -64,14 +65,19 @@ ResschedResult schedule_ressched(const dag::Dag& dag,
                                  const ResschedParams& params) {
   const int p = competing.capacity();
   RESCHED_CHECK(q_hist >= 1 && q_hist <= p, "q_hist must be in [1, p]");
+  OBS_PHASE("core.ressched");
 
   // Phase 1: bottom levels under the BL_* allocation assumption.
+  OBS_SPAN_NAMED(bl_span, "core.ressched.bottom_levels");
   auto bl_alloc = bl_allocations(dag, p, q_hist, params.bl, params.cpa);
   auto bl = dag::bottom_levels(dag, bl_alloc);
   auto order = dag::order_by_decreasing(dag, bl);
+  bl_span.close();
 
   // Phase 2: earliest-completion fits under the BD_* bounds.
+  OBS_SPAN_NAMED(sweep_span, "core.ressched.alloc_sweep");
   auto bound = bd_bounds(dag, p, q_hist, params.bd, params.cpa);
+  std::uint64_t sweep_queries = 0;
 
   resv::AvailabilityProfile profile = competing;  // tasks commit as we go
   ResschedResult result;
@@ -98,6 +104,7 @@ ResschedResult schedule_ressched(const dag::Dag& dag,
       queries.push_back(resv::FitQuery::earliest(
           np, dag::exec_time(dag.cost(task), np), ready));
     auto fits = profile.fit_many(queries);
+    sweep_queries += queries.size();
 
     int best_np = -1;
     double best_start = 0.0, best_completion = 0.0;
@@ -121,6 +128,9 @@ ResschedResult schedule_ressched(const dag::Dag& dag,
     result.schedule.tasks[ti] = r;
     profile.add(r.as_reservation());
   }
+  sweep_span.close();
+  OBS_COUNT("core.ressched.tasks_placed", dag.size());
+  OBS_COUNT("core.ressched.sweep_queries", sweep_queries);
 
   result.turnaround = result.schedule.turnaround(now);
   result.cpu_hours = result.schedule.cpu_hours();

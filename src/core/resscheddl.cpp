@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/obs.hpp"
 #include "src/util/error.hpp"
 
 namespace resched::core {
@@ -79,6 +80,8 @@ std::optional<AppSchedule> backward_pass(
     const std::vector<int>& aggr_bound,
     const std::vector<double>* guideline_rel, double cpa_makespan,
     double lambda) {
+  OBS_SPAN("core.resscheddl.backward_pass");
+  OBS_COUNT("core.resscheddl.backward_passes", 1);
   const int p = competing.capacity();
   // Stretch the CPA guideline to the deadline budget: thresholds keep the
   // CPA shape under a tight deadline and spread out under a loose one.
@@ -158,6 +161,7 @@ GuidelineSet guidelines_for(DlAlgo algo) {
 DeadlineContext make_deadline_context(const dag::Dag& dag, int p, int q_hist,
                                       const cpa::Options& cpa,
                                       GuidelineSet guidelines) {
+  OBS_SPAN("core.resscheddl.context");
   DeadlineContext ctx;
   ctx.cpa_alloc_p = cpa::allocations(dag, p, cpa);
   ctx.cpa_alloc_q = cpa::allocations(dag, q_hist, cpa);
@@ -209,6 +213,7 @@ DeadlineResult schedule_deadline(const dag::Dag& dag,
                                  const DeadlineContext& ctx) {
   RESCHED_CHECK(q_hist >= 1 && q_hist <= competing.capacity(),
                 "q_hist must be in [1, p]");
+  OBS_PHASE("core.resscheddl");
   auto n = static_cast<std::size_t>(dag.size());
   const std::vector<int> all_p(n, competing.capacity());
 
@@ -297,6 +302,10 @@ DeadlineResult schedule_deadline(const dag::Dag& dag,
       break;
     }
   }
+  if (result.feasible)
+    OBS_COUNT("core.resscheddl.feasible", 1);
+  else
+    OBS_COUNT("core.resscheddl.infeasible", 1);
   return result;
 }
 

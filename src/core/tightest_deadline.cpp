@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/obs.hpp"
 #include "src/util/error.hpp"
 
 namespace resched::core {
@@ -9,6 +10,7 @@ namespace resched::core {
 double earliest_finish_floor(const dag::Dag& dag,
                              const resv::AvailabilityProfile& competing,
                              double now) {
+  OBS_SPAN("core.tightest.finish_floor");
   std::vector<resv::FitQuery> queries;
   queries.reserve(static_cast<std::size_t>(dag.size()));
   for (int task = 0; task < dag.size(); ++task) {
@@ -30,6 +32,7 @@ TightestDeadlineResult tightest_deadline(
     const dag::Dag& dag, const resv::AvailabilityProfile& competing,
     double now, int q_hist, const DeadlineParams& params,
     const TightestDeadlineOptions& opts) {
+  OBS_PHASE("core.tightest_deadline");
   auto ctx = make_deadline_context(dag, competing.capacity(), q_hist,
                                    params.cpa, guidelines_for(params.algo));
 
@@ -42,7 +45,10 @@ TightestDeadlineResult tightest_deadline(
   const double finish_floor = earliest_finish_floor(dag, competing, now);
   auto probe = [&](double deadline) {
     ++result.probes;
-    if (deadline < finish_floor) return DeadlineResult{};
+    if (deadline < finish_floor) {
+      OBS_COUNT("core.tightest.floor_filtered", 1);
+      return DeadlineResult{};
+    }
     return schedule_deadline(dag, competing, now, q_hist, deadline, params,
                              ctx);
   };
@@ -72,6 +78,7 @@ TightestDeadlineResult tightest_deadline(
     // Pathological: report the last (loosest) attempt as infeasible.
     result.deadline = hi;
     result.at_deadline = std::move(hi_result);
+    OBS_COUNT("core.tightest.probes", result.probes);
     return result;
   }
 
@@ -90,6 +97,7 @@ TightestDeadlineResult tightest_deadline(
   }
   result.deadline = hi;
   result.at_deadline = std::move(hi_result);
+  OBS_COUNT("core.tightest.probes", result.probes);
   return result;
 }
 

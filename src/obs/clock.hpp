@@ -1,0 +1,21 @@
+// Monotonic timestamps for the observability layer.
+//
+// All spans and latency histograms are stamped from one steady clock so
+// durations are meaningful across threads; absolute values are only ever
+// compared within a single process run (Chrome-trace export rebases to the
+// earliest span).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace resched::obs {
+
+/// Nanoseconds on the process-wide steady clock.
+inline std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace resched::obs

@@ -1,0 +1,174 @@
+#include "src/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace resched::obs {
+
+namespace {
+
+/// Relaxed atomic min/max via CAS: exact under any interleaving.
+void atomic_min(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::record(std::uint64_t v) {
+  buckets_[static_cast<std::size_t>(bucket_of(v))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+std::uint64_t Histogram::min() const {
+  std::uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == ~std::uint64_t{0} ? 0 : m;
+}
+
+std::array<std::uint64_t, Histogram::kBucketCount> Histogram::buckets() const {
+  std::array<std::uint64_t, kBucketCount> out{};
+  for (int b = 0; b < kBucketCount; ++b)
+    out[static_cast<std::size_t>(b)] =
+        buckets_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
+  return out;
+}
+
+std::uint64_t Histogram::quantile(double q) const {
+  auto counts = buckets();
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // ceil, not truncate: the documented contract is an upper-bound estimate,
+  // and a truncated rank would understate (p99 of {1, 1000} must be 1000).
+  auto rank =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total)));
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  std::uint64_t cum = 0;
+  for (int b = 0; b < kBucketCount; ++b) {
+    cum += counts[static_cast<std::size_t>(b)];
+    if (cum >= rank) return std::min(bucket_upper(b), max());
+  }
+  return max();
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_
+             .emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_)
+    snap.counters.push_back({name, c->value()});
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSample s;
+    s.name = name;
+    s.count = h->count();
+    s.sum = h->sum();
+    s.min = h->min();
+    s.max = h->max();
+    s.p50 = h->quantile(0.50);
+    s.p90 = h->quantile(0.90);
+    s.p99 = h->quantile(0.99);
+    auto counts = h->buckets();
+    for (int b = 0; b < Histogram::kBucketCount; ++b)
+      if (counts[static_cast<std::size_t>(b)] != 0)
+        s.buckets.emplace_back(Histogram::bucket_lower(b),
+                               counts[static_cast<std::size_t>(b)]);
+    snap.histograms.push_back(std::move(s));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+void MetricsSnapshot::write_jsonl(std::ostream& out) const {
+  for (const CounterSample& c : counters)
+    out << "{\"type\":\"counter\",\"name\":\"" << c.name
+        << "\",\"value\":" << c.value << "}\n";
+  for (const HistogramSample& h : histograms) {
+    out << "{\"type\":\"histogram\",\"name\":\"" << h.name
+        << "\",\"count\":" << h.count << ",\"sum\":" << h.sum
+        << ",\"min\":" << h.min << ",\"max\":" << h.max << ",\"p50\":" << h.p50
+        << ",\"p90\":" << h.p90 << ",\"p99\":" << h.p99 << ",\"buckets\":[";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "[" << h.buckets[i].first << "," << h.buckets[i].second << "]";
+    }
+    out << "]}\n";
+  }
+}
+
+void MetricsSnapshot::write_table(std::ostream& out) const {
+  std::size_t width = 8;
+  for (const CounterSample& c : counters) width = std::max(width, c.name.size());
+  for (const HistogramSample& h : histograms)
+    width = std::max(width, h.name.size());
+
+  if (!counters.empty()) {
+    out << "counters:\n";
+    for (const CounterSample& c : counters)
+      out << "  " << c.name << std::string(width - c.name.size() + 2, ' ')
+          << c.value << "\n";
+  }
+  if (!histograms.empty()) {
+    out << "histograms (count / p50 / p90 / p99 / max):\n";
+    for (const HistogramSample& h : histograms)
+      out << "  " << h.name << std::string(width - h.name.size() + 2, ' ')
+          << h.count << " / " << h.p50 << " / " << h.p90 << " / " << h.p99
+          << " / " << h.max << "\n";
+  }
+}
+
+}  // namespace resched::obs

@@ -1,0 +1,142 @@
+// Typed counters and log-scale histograms behind a named registry.
+//
+// Counter    — a relaxed atomic u64; add() is one uncontended RMW.
+// Histogram  — 65 power-of-two buckets (bucket b holds values whose
+//              bit_width is b, i.e. [2^(b-1), 2^b)), plus atomic count /
+//              sum / min / max. record() is wait-free; quantile estimates
+//              come from the bucket upper bounds, so they are conservative
+//              (an estimate never understates the true quantile by more
+//              than one bucket).
+// MetricsRegistry — name -> handle map. Lookups take a mutex; hot sites
+//              cache the returned reference (the OBS_COUNT macro does this
+//              with a function-local static), so the steady-state cost is
+//              the atomic op alone. Handles stay valid for the registry's
+//              lifetime; reset() zeroes values without invalidating them.
+//
+// Recording is additionally gated by the process-wide metrics flag (see
+// obs.hpp): with metrics disabled, instrumentation sites cost one relaxed
+// atomic load and never touch (or populate) the registry.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace resched::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Histogram {
+ public:
+  /// Bucket b counts values v with std::bit_width(v) == b: bucket 0 holds
+  /// the value 0, bucket b >= 1 holds [2^(b-1), 2^b).
+  static constexpr int kBucketCount = 65;
+
+  static int bucket_of(std::uint64_t v) {
+    return static_cast<int>(std::bit_width(v));
+  }
+  /// Smallest value landing in bucket b.
+  static std::uint64_t bucket_lower(int b) {
+    return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+  }
+  /// Largest value landing in bucket b.
+  static std::uint64_t bucket_upper(int b) {
+    return b == 0 ? 0 : (std::uint64_t{1} << (b - 1)) * 2 - 1;
+  }
+
+  void record(std::uint64_t v);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Smallest / largest recorded value; 0 when empty.
+  std::uint64_t min() const;
+  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  std::array<std::uint64_t, kBucketCount> buckets() const;
+
+  /// Conservative quantile estimate (bucket upper bound at rank ceil(q *
+  /// count)); 0 when empty. q in [0, 1].
+  std::uint64_t quantile(double q) const;
+
+  void reset();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p90 = 0;
+  std::uint64_t p99 = 0;
+  /// (bucket lower bound, count) for every non-empty bucket, ascending.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+};
+
+/// Point-in-time copy of every registered metric, name-sorted.
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<HistogramSample> histograms;
+
+  /// One JSON object per line: {"type":"counter",...} /
+  /// {"type":"histogram",...}.
+  void write_jsonl(std::ostream& out) const;
+  /// Human-readable two-section summary table.
+  void write_table(std::ostream& out) const;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  /// Returns the counter/histogram registered under `name`, creating it on
+  /// first use. References stay valid for the registry's lifetime.
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every metric; existing handles remain valid.
+  void reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace resched::obs

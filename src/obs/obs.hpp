@@ -1,0 +1,160 @@
+// Observability umbrella: span / counter / histogram macros.
+//
+// This is the only header instrumentation sites include. Overhead
+// contract (DESIGN.md §7):
+//
+//   * compiled out       — configuring with -DRESCHED_OBS=OFF defines
+//                          RESCHED_OBS_DISABLED and every macro expands to
+//                          nothing;
+//   * compiled in, idle  — tracing and metrics each gate on one relaxed
+//                          atomic bool; a disabled site costs that load
+//                          and nothing else (no clock read, no registry
+//                          touch, no allocation);
+//   * enabled            — a span is two clock reads plus one ring slot
+//                          (two atomic ops); a counter is one relaxed RMW
+//                          through a cached handle; a phase additionally
+//                          records one histogram sample.
+//
+// Span names are static string literals, dot-namespaced by subsystem
+// ("core.ressched.alloc_sweep", "online.event", "sim.cell", ...); the
+// taxonomy is documented in DESIGN.md §7.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/obs/clock.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/tracer.hpp"
+
+namespace resched::obs {
+
+namespace detail {
+/// Process-wide metrics gate (tracing has its own flag in the Tracer).
+inline std::atomic<bool> metrics_enabled_flag{false};
+}  // namespace detail
+
+inline bool tracing_enabled() { return Tracer::global().enabled(); }
+inline bool metrics_enabled() {
+  return detail::metrics_enabled_flag.load(std::memory_order_relaxed);
+}
+inline void set_metrics_enabled(bool on) {
+  detail::metrics_enabled_flag.store(on, std::memory_order_relaxed);
+}
+inline MetricsRegistry& registry() { return MetricsRegistry::global(); }
+
+/// RAII span: records [construction, destruction) into the tracer when
+/// tracing is enabled at construction time. close() ends the span early.
+class SpanGuard {
+ public:
+  explicit SpanGuard(const char* name) {
+    if (!tracing_enabled()) return;
+    name_ = name;
+    start_ = now_ns();
+  }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+  ~SpanGuard() { close(); }
+
+  void close() {
+    if (name_ == nullptr) return;
+    Tracer::global().record(name_, start_, now_ns());
+    name_ = nullptr;
+  }
+
+ private:
+  const char* name_ = nullptr;
+  std::int64_t start_ = 0;
+};
+
+/// RAII phase: a span (when tracing) plus a latency histogram sample in
+/// nanoseconds under the same name (when metrics are on).
+class PhaseGuard {
+ public:
+  explicit PhaseGuard(const char* name) {
+    trace_ = tracing_enabled();
+    metrics_ = metrics_enabled();
+    if (!trace_ && !metrics_) return;
+    name_ = name;
+    start_ = now_ns();
+  }
+  PhaseGuard(const PhaseGuard&) = delete;
+  PhaseGuard& operator=(const PhaseGuard&) = delete;
+  ~PhaseGuard() { close(); }
+
+  void close() {
+    if (name_ == nullptr) return;
+    std::int64_t end = now_ns();
+    if (trace_) Tracer::global().record(name_, start_, end);
+    if (metrics_)
+      registry().histogram(name_).record(
+          static_cast<std::uint64_t>(end - start_));
+    name_ = nullptr;
+  }
+
+ private:
+  const char* name_ = nullptr;
+  std::int64_t start_ = 0;
+  bool trace_ = false;
+  bool metrics_ = false;
+};
+
+/// No-op stand-in when instrumentation is compiled out.
+struct NullGuard {
+  void close() {}
+};
+
+}  // namespace resched::obs
+
+#define RESCHED_OBS_CONCAT_IMPL(a, b) a##b
+#define RESCHED_OBS_CONCAT(a, b) RESCHED_OBS_CONCAT_IMPL(a, b)
+
+#if defined(RESCHED_OBS_DISABLED)
+
+#define OBS_SPAN(name)                           \
+  [[maybe_unused]] ::resched::obs::NullGuard     \
+      RESCHED_OBS_CONCAT(resched_obs_span_, __LINE__)
+#define OBS_SPAN_NAMED(var, name) \
+  [[maybe_unused]] ::resched::obs::NullGuard var
+#define OBS_PHASE(name)                          \
+  [[maybe_unused]] ::resched::obs::NullGuard     \
+      RESCHED_OBS_CONCAT(resched_obs_phase_, __LINE__)
+#define OBS_COUNT(name, delta) \
+  do {                         \
+  } while (0)
+#define OBS_HIST(name, value) \
+  do {                        \
+  } while (0)
+
+#else
+
+/// Scoped span covering the rest of the enclosing block.
+#define OBS_SPAN(name)                 \
+  ::resched::obs::SpanGuard RESCHED_OBS_CONCAT(resched_obs_span_, \
+                                               __LINE__)(name)
+/// Scoped span bound to `var` so the site can close() it early.
+#define OBS_SPAN_NAMED(var, name) ::resched::obs::SpanGuard var(name)
+/// Scoped span + same-name latency histogram (ns).
+#define OBS_PHASE(name)                 \
+  ::resched::obs::PhaseGuard RESCHED_OBS_CONCAT(resched_obs_phase_, \
+                                                __LINE__)(name)
+/// Adds `delta` to the counter `name`; handle cached per call site.
+#define OBS_COUNT(name, delta)                                       \
+  do {                                                               \
+    if (::resched::obs::metrics_enabled()) {                         \
+      static ::resched::obs::Counter& resched_obs_counter =          \
+          ::resched::obs::registry().counter(name);                  \
+      resched_obs_counter.add(static_cast<std::uint64_t>(delta));    \
+    }                                                                \
+  } while (0)
+/// Records `value` into the histogram `name`; handle cached per site.
+#define OBS_HIST(name, value)                                        \
+  do {                                                               \
+    if (::resched::obs::metrics_enabled()) {                         \
+      static ::resched::obs::Histogram& resched_obs_hist =           \
+          ::resched::obs::registry().histogram(name);                \
+      resched_obs_hist.record(static_cast<std::uint64_t>(value));    \
+    }                                                                \
+  } while (0)
+
+#endif  // RESCHED_OBS_DISABLED

@@ -1,0 +1,45 @@
+#include "src/obs/span_ring.hpp"
+
+#include "src/util/error.hpp"
+
+namespace resched::obs {
+
+SpanRing::SpanRing(std::size_t capacity) : slots_(capacity) {
+  RESCHED_CHECK(capacity >= 1, "span ring needs capacity >= 1");
+}
+
+bool SpanRing::record(const SpanEvent& ev) {
+  std::uint64_t i = head_.fetch_add(1, std::memory_order_relaxed);
+  if (i >= slots_.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Slot& slot = slots_[static_cast<std::size_t>(i)];
+  slot.ev = ev;
+  slot.ready.store(1, std::memory_order_release);
+  return true;
+}
+
+std::vector<SpanEvent> SpanRing::snapshot() const {
+  std::uint64_t claimed = head_.load(std::memory_order_acquire);
+  std::size_t n = static_cast<std::size_t>(
+      claimed < slots_.size() ? claimed : slots_.size());
+  std::vector<SpanEvent> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    if (slots_[i].ready.load(std::memory_order_acquire) != 0)
+      out.push_back(slots_[i].ev);
+  return out;
+}
+
+void SpanRing::clear() {
+  std::uint64_t claimed = head_.load(std::memory_order_relaxed);
+  std::size_t n = static_cast<std::size_t>(
+      claimed < slots_.size() ? claimed : slots_.size());
+  for (std::size_t i = 0; i < n; ++i)
+    slots_[i].ready.store(0, std::memory_order_relaxed);
+  head_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace resched::obs

@@ -1,0 +1,67 @@
+// Lock-free bounded span log (the tracing back end).
+//
+// Writers claim a unique slot with one fetch_add and publish it with one
+// release store, so recording a span costs two atomic operations and a
+// 32-byte copy — cheap enough for per-event and per-phase instrumentation
+// on the scheduler's hot paths. The ring *saturates* instead of wrapping:
+// once `capacity` spans are recorded, further spans are counted in
+// dropped() and discarded. Saturation (rather than overwrite) is what keeps
+// the structure race-free — a reader never observes a slot that a lapped
+// writer is re-filling, so snapshot() is safe to call concurrently with
+// writers and the whole type is clean under ThreadSanitizer.
+//
+// clear() is the one operation that must not race record(); the Tracer
+// only calls it from start(), whose contract requires quiescence.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace resched::obs {
+
+/// One completed span. `name` must have static storage duration (the
+/// macros pass string literals); events are POD so the ring can copy them.
+struct SpanEvent {
+  const char* name = nullptr;
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+  std::uint32_t tid = 0;  ///< dense per-thread id, assigned on first span
+};
+
+class SpanRing {
+ public:
+  explicit SpanRing(std::size_t capacity);
+  SpanRing(const SpanRing&) = delete;
+  SpanRing& operator=(const SpanRing&) = delete;
+
+  /// Records `ev`; returns false (and counts the drop) when the ring is
+  /// saturated. Thread-safe against any number of concurrent record() and
+  /// snapshot() calls.
+  bool record(const SpanEvent& ev);
+
+  /// All fully published events, in claim order. Safe concurrently with
+  /// writers: an in-flight slot is simply not yet visible.
+  std::vector<SpanEvent> snapshot() const;
+
+  std::size_t capacity() const { return slots_.size(); }
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Resets the ring to empty. Must not run concurrently with record().
+  void clear();
+
+ private:
+  struct Slot {
+    std::atomic<std::uint32_t> ready{0};
+    SpanEvent ev;
+  };
+
+  std::vector<Slot> slots_;
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace resched::obs

@@ -1,0 +1,138 @@
+#include "src/obs/tracer.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <ostream>
+#include <string>
+
+namespace resched::obs {
+
+namespace {
+
+/// JSON string escape for span names (literals we control, but a trace
+/// file must never be malformed regardless of what a caller passes).
+std::string json_escape(const char* s) {
+  std::string out;
+  for (const char* p = s; *p != '\0'; ++p) {
+    unsigned char c = static_cast<unsigned char>(*p);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// Category = span name prefix before the first '.' ("core.ressched" ->
+/// "core"); groups subsystem spans under one color family in Perfetto.
+std::string category_of(const char* name) {
+  const char* dot = std::strchr(name, '.');
+  return dot != nullptr ? std::string(name, dot) : std::string(name);
+}
+
+/// Microseconds with nanosecond precision, fixed format for golden tests.
+std::string us_fixed(std::int64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%" PRId64 ".%03d", ns / 1000,
+                static_cast<int>(ns % 1000));
+  return std::string(buf);
+}
+
+}  // namespace
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::start(std::size_t capacity) {
+  enabled_.store(false, std::memory_order_relaxed);
+  if (ring_ == nullptr || ring_->capacity() != capacity)
+    ring_ = std::make_unique<SpanRing>(capacity);
+  else
+    ring_->clear();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::stop() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Tracer::record(const char* name, std::int64_t start_ns,
+                    std::int64_t end_ns) {
+  SpanRing* ring = ring_.get();
+  if (ring == nullptr) return;
+  ring->record({name, start_ns, end_ns, thread_id()});
+}
+
+std::vector<SpanEvent> Tracer::snapshot() const {
+  return ring_ != nullptr ? ring_->snapshot() : std::vector<SpanEvent>{};
+}
+
+std::uint64_t Tracer::dropped() const {
+  return ring_ != nullptr ? ring_->dropped() : 0;
+}
+
+void Tracer::write_chrome_trace(std::ostream& out) const {
+  auto events = snapshot();
+  obs::write_chrome_trace(out, events);
+}
+
+std::uint32_t Tracer::thread_id() {
+  thread_local std::uint32_t tid =
+      next_tid_.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+void write_chrome_trace(std::ostream& out,
+                        std::span<const SpanEvent> events) {
+  std::vector<SpanEvent> sorted(events.begin(), events.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              // Enclosing span first, so Perfetto nesting reads top-down.
+              if (a.end_ns != b.end_ns) return a.end_ns > b.end_ns;
+              return std::strcmp(a.name, b.name) < 0;
+            });
+
+  std::int64_t base = 0;
+  for (std::size_t i = 0; i < sorted.size(); ++i)
+    base = i == 0 ? sorted[i].start_ns : std::min(base, sorted[i].start_ns);
+
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  std::vector<std::uint32_t> tids;
+  for (const SpanEvent& ev : sorted)
+    if (std::find(tids.begin(), tids.end(), ev.tid) == tids.end())
+      tids.push_back(ev.tid);
+  std::sort(tids.begin(), tids.end());
+  for (std::uint32_t tid : tids) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\"thread-" << tid
+        << "\"}}";
+  }
+  for (const SpanEvent& ev : sorted) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << json_escape(ev.name) << "\",\"cat\":\""
+        << category_of(ev.name) << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+        << ev.tid << ",\"ts\":" << us_fixed(ev.start_ns - base)
+        << ",\"dur\":" << us_fixed(ev.end_ns - ev.start_ns) << "}";
+  }
+  out << "]}";
+}
+
+}  // namespace resched::obs

@@ -1,0 +1,77 @@
+// Process-wide span tracer with Chrome-trace export.
+//
+// The tracer is a singleton holding one SpanRing per tracing session.
+// Recording is gated on a relaxed atomic flag, so instrumentation compiled
+// into a binary that never calls start() costs one relaxed load per span
+// site (see the overhead contract in DESIGN.md §7). Sessions:
+//
+//   obs::Tracer::global().start();        // begin recording (quiescent!)
+//   ... traced work, any number of threads ...
+//   obs::Tracer::global().stop();         // flag off; late spans are safe
+//   obs::Tracer::global().write_chrome_trace(out);
+//
+// start() replaces the ring and therefore must not race in-flight spans;
+// stop(), snapshot(), and write_chrome_trace() may run concurrently with
+// traced work (they simply miss spans still being written).
+//
+// The export is the Chrome Trace Event JSON format ("X" complete events,
+// microsecond timestamps rebased to the earliest span) and loads directly
+// in Perfetto / chrome://tracing.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/obs/span_ring.hpp"
+
+namespace resched::obs {
+
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 20;
+
+  static Tracer& global();
+
+  /// Starts a fresh tracing session with room for `capacity` spans. Must
+  /// not run concurrently with spans still in flight.
+  void start(std::size_t capacity = kDefaultCapacity);
+
+  /// Stops recording. Spans already past their enabled-check complete
+  /// harmlessly into the (still live) ring.
+  void stop();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Records one completed span on the current thread. No-op when tracing
+  /// is disabled or no session was ever started.
+  void record(const char* name, std::int64_t start_ns, std::int64_t end_ns);
+
+  /// Published spans of the current session, in claim order.
+  std::vector<SpanEvent> snapshot() const;
+
+  /// Spans discarded because the session ring saturated.
+  std::uint64_t dropped() const;
+
+  /// Writes the current session as Chrome Trace Event JSON.
+  void write_chrome_trace(std::ostream& out) const;
+
+  /// Dense id of the calling thread (assigned on first use).
+  std::uint32_t thread_id();
+
+ private:
+  Tracer() = default;
+
+  std::atomic<bool> enabled_{false};
+  std::unique_ptr<SpanRing> ring_;
+  std::atomic<std::uint32_t> next_tid_{0};
+};
+
+/// Chrome Trace Event JSON for an explicit event list: deterministic
+/// (events sorted by tid, start, name; timestamps rebased to the earliest
+/// start and printed with fixed precision), so goldens can compare bytes.
+void write_chrome_trace(std::ostream& out, std::span<const SpanEvent> events);
+
+}  // namespace resched::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/obs.hpp"
 #include "src/util/error.hpp"
 
 namespace resched::online {
@@ -64,6 +65,10 @@ void SchedulerService::run_all() {
 }
 
 void SchedulerService::process(const Event& e) {
+  // Per-event service latency (histogram) and span; queue depth includes
+  // the event being processed.
+  OBS_PHASE("online.event");
+  OBS_HIST("online.queue_depth", queue_.size() + 1);
   now_ = e.time;
   switch (e.type) {
     case EventType::kSubmission:
@@ -119,8 +124,11 @@ void SchedulerService::schedule_job(const JobSubmission& job, double t,
                                     std::uint64_t seq) {
   RESCHED_CHECK(live_jobs_.find(job.job_id) == live_jobs_.end(),
                 "job id already live in the engine");
-  if (config_.compact_calendar)
+  OBS_PHASE("online.schedule_job");
+  if (config_.compact_calendar) {
+    OBS_COUNT("online.compactions", 1);
     profile_.compact(t - config_.history_window);
+  }
   int q_hist =
       resv::historical_average_available(profile_, t, config_.history_window);
 
@@ -202,6 +210,10 @@ void SchedulerService::commit_schedule(const JobSubmission& job, double t,
   outcome.schedule = schedule;
   outcomes_.push_back(std::move(outcome));
 
+  if (decision == Decision::kCounterOffered)
+    OBS_COUNT("online.counter_offered", 1);
+  else
+    OBS_COUNT("online.accepted", 1);
   metrics_.record_decision(decision);
   trace_decision(seq, t, decision, job.job_id,
                  decision == Decision::kCounterOffered ? counter_offer
@@ -227,6 +239,7 @@ void SchedulerService::reject(const JobSubmission& job, double t,
   outcome.start = kNaN;
   outcome.finish = kNaN;
   outcomes_.push_back(std::move(outcome));
+  OBS_COUNT("online.rejected", 1);
   metrics_.record_decision(Decision::kRejected);
   trace_decision(seq, t, Decision::kRejected, job.job_id,
                  job.deadline.value_or(kNaN));

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "src/obs/obs.hpp"
 #include "src/util/error.hpp"
 
 namespace resched::resv {
@@ -72,6 +73,7 @@ std::optional<double> AvailabilityProfile::earliest_fit(
     int procs, double duration, double not_before) const {
   RESCHED_CHECK(procs >= 1, "fit query needs at least one processor");
   RESCHED_CHECK(duration > 0.0, "fit query needs positive duration");
+  OBS_COUNT("resv.fit.earliest", 1);
   if (procs > capacity_) return std::nullopt;
   auto fit = index_.earliest_fit(procs, duration, not_before);
   RESCHED_ASSERT(fit.has_value(),
@@ -85,6 +87,7 @@ std::optional<double> AvailabilityProfile::latest_fit(int procs,
                                                       double not_before) const {
   RESCHED_CHECK(procs >= 1, "fit query needs at least one processor");
   RESCHED_CHECK(duration > 0.0, "fit query needs positive duration");
+  OBS_COUNT("resv.fit.latest", 1);
   if (procs > capacity_) return std::nullopt;
   if (deadline - duration < not_before) return std::nullopt;
   return index_.latest_fit(procs, duration, deadline, not_before);
@@ -92,6 +95,7 @@ std::optional<double> AvailabilityProfile::latest_fit(int procs,
 
 std::vector<std::optional<double>> AvailabilityProfile::fit_many(
     std::span<const FitQuery> queries) const {
+  OBS_COUNT("resv.fit.batches", 1);
   std::vector<std::optional<double>> out;
   out.reserve(queries.size());
   for (const FitQuery& q : queries)

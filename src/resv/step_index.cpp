@@ -5,6 +5,7 @@
 #include <limits>
 #include <utility>
 
+#include "src/obs/obs.hpp"
 #include "src/util/error.hpp"
 
 namespace resched::resv {
@@ -184,6 +185,7 @@ bool StepIndex::contains_key(double t) const {
 }
 
 void StepIndex::insert(double key, int value) {
+  OBS_COUNT("resv.index.treap_rebalances", 1);
   Node *a, *b;
   split(root_, key, /*keep_equal_left=*/false, a, b);
   root_ = merge(merge(a, new Node(key, value, next_prio())), b);
@@ -191,6 +193,7 @@ void StepIndex::insert(double key, int value) {
 }
 
 void StepIndex::erase(double key) {
+  OBS_COUNT("resv.index.treap_rebalances", 1);
   Node *a, *rest, *mid, *b;
   split(root_, key, /*keep_equal_left=*/false, a, rest);
   split(rest, key, /*keep_equal_left=*/true, mid, b);
@@ -274,7 +277,11 @@ std::optional<double> StepIndex::earliest_fit(int procs, double duration,
     std::optional<double> run_start;
     bool done = false;
     std::optional<double> answer;
-  } s{procs, duration, not_before, std::nullopt, false, std::nullopt};
+    // Tallied locally (plain ints) and flushed once per query, so the hot
+    // recursion never touches shared metric state.
+    std::uint64_t prunes = 0;
+    std::uint64_t feasible_runs = 0;
+  } s{procs, duration, not_before, std::nullopt, false, std::nullopt, 0, 0};
 
   // bound = end of the subtree's last segment (the key of the next
   // breakpoint after the subtree, +inf at the far right); acc = sum of
@@ -285,6 +292,7 @@ std::optional<double> StepIndex::earliest_fit(int procs, double duration,
     int tree_min = n->min_val + acc;
     int tree_max = n->max_val + acc;
     if (tree_min >= s.procs) {  // feasible end to end: one run to `bound`
+      ++s.feasible_runs;
       double seg_start = std::max(n->min_key, s.not_before);
       if (!s.run_start) s.run_start = seg_start;
       if (*s.run_start + s.duration <= bound) {
@@ -294,6 +302,7 @@ std::optional<double> StepIndex::earliest_fit(int procs, double duration,
       return;
     }
     if (tree_max < s.procs) {  // no feasible instant anywhere inside
+      ++s.prunes;
       s.run_start.reset();
       return;
     }
@@ -317,6 +326,8 @@ std::optional<double> StepIndex::earliest_fit(int procs, double duration,
     self(self, n->r, child_acc, bound);
   };
   scan(scan, root_, 0, kPosInf);
+  OBS_COUNT("resv.index.subtree_prunes", s.prunes);
+  OBS_COUNT("resv.index.subtree_runs", s.feasible_runs);
   return s.done ? s.answer : std::nullopt;
 }
 
@@ -329,7 +340,10 @@ std::optional<double> StepIndex::latest_fit(int procs, double duration,
     std::optional<double> run_end;
     bool done = false;
     std::optional<double> answer;
-  } s{procs, duration, deadline, not_before, std::nullopt, false, std::nullopt};
+    std::uint64_t prunes = 0;
+    std::uint64_t feasible_runs = 0;
+  } s{procs, duration,     deadline, not_before, std::nullopt,
+      false, std::nullopt, 0,        0};
 
   // Mirrors the linear backward scan, including its one-ulp nudge so the
   // returned window never overhangs a reservation starting at run_end.
@@ -363,10 +377,12 @@ std::optional<double> StepIndex::latest_fit(int procs, double duration,
     int tree_min = n->min_val + acc;
     int tree_max = n->max_val + acc;
     if (tree_min >= s.procs) {
+      ++s.feasible_runs;
       feasible_span(n->min_key, std::min(bound, s.deadline));
       return;
     }
     if (tree_max < s.procs) {  // at least one non-empty infeasible segment
+      ++s.prunes;
       s.run_end.reset();
       return;
     }
@@ -386,6 +402,8 @@ std::optional<double> StepIndex::latest_fit(int procs, double duration,
     self(self, n->l, child_acc, n->key);
   };
   scan(scan, root_, 0, kPosInf);
+  OBS_COUNT("resv.index.subtree_prunes", s.prunes);
+  OBS_COUNT("resv.index.subtree_runs", s.feasible_runs);
   return s.done ? s.answer : std::nullopt;
 }
 

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <limits>
 
+#include "src/obs/obs.hpp"
 #include "src/sim/runner.hpp"
 #include "src/util/error.hpp"
 
@@ -36,6 +37,7 @@ ComparisonTable run_ressched_comparison(
     std::vector<std::array<std::vector<double>, 2>> values(
         static_cast<std::size_t>(per_scenario));
     parallel_for(per_scenario, config.threads, [&](int i) {
+      OBS_PHASE("sim.cell");
       int dag_idx = i / config.resv_samples;
       int resv_idx = i % config.resv_samples;
       Instance inst = make_instance(scenario, dag_idx, resv_idx, config.seed);
@@ -80,6 +82,7 @@ BlComparisonResult run_bl_comparison(std::span<const ScenarioSpec> scenarios,
     std::vector<std::array<std::array<double, 4>, 3>> values(
         static_cast<std::size_t>(per_scenario));
     parallel_for(per_scenario, config.threads, [&](int i) {
+      OBS_PHASE("sim.cell");
       int dag_idx = i / config.resv_samples;
       int resv_idx = i % config.resv_samples;
       Instance inst = make_instance(scenario, dag_idx, resv_idx, config.seed);
@@ -140,6 +143,7 @@ ComparisonTable run_deadline_comparison(
     std::vector<std::array<std::vector<double>, 2>> values(
         static_cast<std::size_t>(per_scenario));
     parallel_for(per_scenario, config.threads, [&](int i) {
+      OBS_PHASE("sim.cell");
       int dag_idx = i / config.resv_samples;
       int resv_idx = i % config.resv_samples;
       Instance inst = make_instance(scenario, dag_idx, resv_idx, config.seed);
