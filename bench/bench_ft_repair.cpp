@@ -1,0 +1,117 @@
+// Microbenchmarks for the fault-tolerance subsystem (google-benchmark):
+// the cost of replaying a workload stream with the repair engine attached
+// and a disruption campaign striking it, against the clean replay of the
+// same stream, plus the checkpoint save/load round-trip of the loaded
+// engine. The argument is the number of jobs in the stream.
+//
+// The checked-in baseline bench/BENCH_ft_repair.json is produced with:
+//   ./build/bench/bench_ft_repair --benchmark_format=json
+//       --benchmark_min_time=0.2 > bench/BENCH_ft_repair.json  (one line)
+// and the CI bench-smoke job fails on a >2x per-benchmark regression
+// (scripts/check_bench_regression.py).
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+#include <vector>
+
+#include "src/ft/checkpoint.hpp"
+#include "src/ft/injector.hpp"
+#include "src/ft/repair.hpp"
+#include "src/online/replay.hpp"
+#include "src/online/service.hpp"
+#include "src/util/rng.hpp"
+#include "src/workload/synth.hpp"
+
+namespace {
+
+using namespace resched;
+
+constexpr int kCpus = 128;
+
+/// Deterministic stream shared by every benchmark: `jobs` DAG submissions
+/// replayed from a synthetic SDSC Blue slice.
+std::vector<online::JobSubmission> make_stream(int jobs) {
+  workload::SyntheticLogSpec log_spec = workload::sdsc_blue_spec();
+  log_spec.cpus = kCpus;
+  log_spec.duration_days = 7.0;
+  util::Rng rng(7);
+  workload::Log log = workload::generate_log(log_spec, rng);
+
+  online::ReplaySpec spec;
+  spec.app.num_tasks = 10;
+  spec.app.min_seq_time = 60.0;
+  spec.app.max_seq_time = 3600.0;
+  spec.deadline_fraction = 0.3;
+  spec.max_jobs = jobs;
+  return online::submissions_from_log(log, spec);
+}
+
+std::vector<ft::Disruption> make_campaign(double horizon) {
+  ft::FaultInjectorConfig fault;
+  fault.outage_mean = 4000.0;
+  fault.task_failure_mean = 3000.0;
+  fault.outage_procs_max = kCpus / 4;
+  return ft::FaultInjector(fault).generate(0.0, horizon);
+}
+
+online::ServiceConfig config() {
+  online::ServiceConfig c;
+  c.capacity = kCpus;
+  return c;
+}
+
+void clean_replay(benchmark::State& state) {
+  const auto stream = make_stream(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    online::SchedulerService service(config());
+    for (const online::JobSubmission& sub : stream) service.submit(sub);
+    service.run_all();
+    benchmark::DoNotOptimize(service.metrics().completed());
+  }
+}
+
+void disrupted_replay(benchmark::State& state) {
+  const auto stream = make_stream(static_cast<int>(state.range(0)));
+  const auto campaign = make_campaign(7.0 * 86400.0);
+  std::uint64_t episodes = 0;
+  for (auto _ : state) {
+    online::SchedulerService service(config());
+    ft::RepairEngine engine(service);
+    engine.schedule_all(campaign);
+    for (const online::JobSubmission& sub : stream) service.submit(sub);
+    service.run_all();
+    episodes += engine.counters().repairs_attempted;
+    benchmark::DoNotOptimize(service.metrics().completed());
+  }
+  state.counters["episodes/replay"] =
+      benchmark::Counter(static_cast<double>(episodes) /
+                         static_cast<double>(state.iterations()));
+}
+
+/// Save + load of a mid-run engine: the stream is loaded, the campaign
+/// scheduled, and a third of the events processed before measuring.
+void checkpoint_roundtrip(benchmark::State& state) {
+  const auto stream = make_stream(static_cast<int>(state.range(0)));
+  const auto campaign = make_campaign(7.0 * 86400.0);
+  online::SchedulerService service(config());
+  ft::RepairEngine engine(service);
+  engine.schedule_all(campaign);
+  for (const online::JobSubmission& sub : stream) service.submit(sub);
+  service.run_until(stream[stream.size() / 3].submit);
+  for (auto _ : state) {
+    std::stringstream buf;
+    ft::save_checkpoint(buf, service, &engine);
+    online::SchedulerService restored(config());
+    ft::RepairEngine restored_engine(restored);
+    ft::load_checkpoint(buf, restored, &restored_engine);
+    benchmark::DoNotOptimize(restored.now());
+  }
+}
+
+BENCHMARK(clean_replay)->Arg(32)->Unit(benchmark::kMillisecond);
+BENCHMARK(disrupted_replay)->Arg(32)->Unit(benchmark::kMillisecond);
+BENCHMARK(checkpoint_roundtrip)->Arg(32)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,556 @@
+#include "src/ft/checkpoint.hpp"
+
+#include <bit>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/ft/service_access.hpp"
+#include "src/util/error.hpp"
+
+namespace resched::ft {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x52534654;  // "RSFT"
+constexpr std::uint32_t kVersion = 1;
+
+using SA = ServiceAccess;
+using LiveTask = online::SchedulerService::LiveTask;
+using LiveJob = online::SchedulerService::LiveJob;
+using ExternalResv = online::SchedulerService::ExternalResv;
+
+// --- Primitive IO (host-endian, doubles as IEEE-754 bit patterns) ---------
+
+void put_bytes(std::ostream& out, const void* data, std::size_t n) {
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+  RESCHED_CHECK(out.good(), "checkpoint write failed");
+}
+
+void get_bytes(std::istream& in, void* data, std::size_t n) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+  RESCHED_CHECK(in.gcount() == static_cast<std::streamsize>(n),
+                "checkpoint truncated");
+}
+
+void put_u8(std::ostream& out, std::uint8_t v) { put_bytes(out, &v, 1); }
+void put_u32(std::ostream& out, std::uint32_t v) { put_bytes(out, &v, 4); }
+void put_u64(std::ostream& out, std::uint64_t v) { put_bytes(out, &v, 8); }
+void put_i32(std::ostream& out, std::int32_t v) { put_bytes(out, &v, 4); }
+void put_f64(std::ostream& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+void put_bool(std::ostream& out, bool v) { put_u8(out, v ? 1 : 0); }
+void put_string(std::ostream& out, const std::string& s) {
+  put_u64(out, s.size());
+  if (!s.empty()) put_bytes(out, s.data(), s.size());
+}
+
+std::uint8_t get_u8(std::istream& in) {
+  std::uint8_t v;
+  get_bytes(in, &v, 1);
+  return v;
+}
+std::uint32_t get_u32(std::istream& in) {
+  std::uint32_t v;
+  get_bytes(in, &v, 4);
+  return v;
+}
+std::uint64_t get_u64(std::istream& in) {
+  std::uint64_t v;
+  get_bytes(in, &v, 8);
+  return v;
+}
+std::int32_t get_i32(std::istream& in) {
+  std::int32_t v;
+  get_bytes(in, &v, 4);
+  return v;
+}
+double get_f64(std::istream& in) {
+  return std::bit_cast<double>(get_u64(in));
+}
+bool get_bool(std::istream& in) { return get_u8(in) != 0; }
+std::string get_string(std::istream& in) {
+  std::string s(static_cast<std::size_t>(get_u64(in)), '\0');
+  if (!s.empty()) get_bytes(in, s.data(), s.size());
+  return s;
+}
+
+// --- Composite IO ---------------------------------------------------------
+
+void put_reservation(std::ostream& out, const resv::Reservation& r) {
+  put_f64(out, r.start);
+  put_f64(out, r.end);
+  put_i32(out, r.procs);
+}
+
+resv::Reservation get_reservation(std::istream& in) {
+  resv::Reservation r;
+  r.start = get_f64(in);
+  r.end = get_f64(in);
+  r.procs = get_i32(in);
+  return r;
+}
+
+void put_optional_f64(std::ostream& out, const std::optional<double>& v) {
+  put_bool(out, v.has_value());
+  if (v) put_f64(out, *v);
+}
+
+std::optional<double> get_optional_f64(std::istream& in) {
+  if (!get_bool(in)) return std::nullopt;
+  return get_f64(in);
+}
+
+/// A Dag serializes as its costs plus the edge list read off the successor
+/// adjacency; reconstruction through the validating constructor derives
+/// the identical structure (orders included) because everything in a Dag
+/// is a deterministic function of (costs, edges).
+void put_dag(std::ostream& out, const dag::Dag& dag) {
+  const int n = dag.size();
+  put_i32(out, n);
+  for (int i = 0; i < n; ++i) {
+    put_f64(out, dag.cost(i).seq_time);
+    put_f64(out, dag.cost(i).alpha);
+  }
+  put_i32(out, dag.num_edges());
+  for (int i = 0; i < n; ++i)
+    for (int succ : dag.successors(i)) {
+      put_i32(out, i);
+      put_i32(out, succ);
+    }
+}
+
+dag::Dag get_dag(std::istream& in) {
+  const int n = get_i32(in);
+  RESCHED_CHECK(n >= 1, "checkpoint DAG must have tasks");
+  std::vector<dag::TaskCost> costs(static_cast<std::size_t>(n));
+  for (auto& c : costs) {
+    c.seq_time = get_f64(in);
+    c.alpha = get_f64(in);
+  }
+  const int m = get_i32(in);
+  RESCHED_CHECK(m >= 0, "checkpoint DAG edge count must be >= 0");
+  std::vector<std::pair<int, int>> edges(static_cast<std::size_t>(m));
+  for (auto& e : edges) {
+    e.first = get_i32(in);
+    e.second = get_i32(in);
+  }
+  return dag::Dag(std::move(costs), edges);
+}
+
+void put_task_reservation(std::ostream& out, const core::TaskReservation& r) {
+  put_i32(out, r.procs);
+  put_f64(out, r.start);
+  put_f64(out, r.finish);
+}
+
+core::TaskReservation get_task_reservation(std::istream& in) {
+  core::TaskReservation r;
+  r.procs = get_i32(in);
+  r.start = get_f64(in);
+  r.finish = get_f64(in);
+  return r;
+}
+
+void put_disruption(std::ostream& out, const Disruption& d) {
+  put_i32(out, d.id);
+  put_u8(out, static_cast<std::uint8_t>(d.type));
+  put_f64(out, d.time);
+  put_i32(out, d.procs);
+  put_f64(out, d.duration);
+  put_f64(out, d.amount);
+  put_i32(out, d.target);
+  put_u64(out, d.victim_seed);
+}
+
+Disruption get_disruption(std::istream& in) {
+  Disruption d;
+  d.id = get_i32(in);
+  const std::uint8_t type = get_u8(in);
+  RESCHED_CHECK(type <= static_cast<std::uint8_t>(DisruptionType::kTaskFailure),
+                "checkpoint holds an unknown disruption type");
+  d.type = static_cast<DisruptionType>(type);
+  d.time = get_f64(in);
+  d.procs = get_i32(in);
+  d.duration = get_f64(in);
+  d.amount = get_f64(in);
+  d.target = get_i32(in);
+  d.victim_seed = get_u64(in);
+  return d;
+}
+
+}  // namespace
+
+void save_checkpoint(std::ostream& out, online::SchedulerService& service,
+                     const RepairEngine* engine) {
+  put_u32(out, kMagic);
+  put_u32(out, kVersion);
+
+  // Config fingerprint (scalars whose mismatch corrupts restored state).
+  const online::ServiceConfig& config = SA::config(service);
+  put_i32(out, config.capacity);
+  put_f64(out, config.history_window);
+  put_u8(out, static_cast<std::uint8_t>(config.admission));
+  put_f64(out, config.counter_offer_limit);
+  put_bool(out, config.compact_calendar);
+
+  // Engine scalars.
+  put_f64(out, SA::now(service));
+  put_i32(out, SA::used_procs(service));
+  put_i32(out, SA::next_external_id(service));
+  put_u64(out, SA::stale_events(service));
+  put_bool(out, SA::ft_active(service));
+
+  // Event queue.
+  const auto& queue = SA::queue(service);
+  put_u64(out, queue.next_seq());
+  const std::vector<online::Event> events = queue.snapshot();
+  put_u64(out, events.size());
+  for (const online::Event& e : events) {
+    put_f64(out, e.time);
+    put_u8(out, static_cast<std::uint8_t>(e.type));
+    put_i32(out, e.job);
+    put_i32(out, e.task);
+    put_i32(out, e.procs);
+    put_u64(out, e.seq);
+    put_i32(out, e.aux);
+    put_i32(out, e.version);
+  }
+
+  // Pending payloads.
+  const auto& pending_jobs = SA::pending_jobs(service);
+  put_u64(out, pending_jobs.size());
+  for (const auto& [seq, job] : pending_jobs) {
+    put_u64(out, seq);
+    put_i32(out, job.job_id);
+    put_f64(out, job.submit);
+    put_dag(out, job.dag);
+    put_optional_f64(out, job.deadline);
+  }
+  const auto& pending_resv = SA::pending_resv(service);
+  put_u64(out, pending_resv.size());
+  for (const auto& [seq, r] : pending_resv) {
+    put_u64(out, seq);
+    put_reservation(out, r);
+  }
+
+  // Live jobs.
+  const auto& live_jobs = SA::live_jobs(service);
+  put_u64(out, live_jobs.size());
+  for (const auto& [id, job] : live_jobs) {
+    put_i32(out, id);
+    put_dag(out, job.dag);
+    put_optional_f64(out, job.deadline);
+    put_f64(out, job.submit);
+    put_i32(out, job.remaining_tasks);
+    put_u64(out, job.tasks.size());
+    for (const LiveTask& t : job.tasks) {
+      put_task_reservation(out, t.r);
+      put_i32(out, t.version);
+      put_u8(out, static_cast<std::uint8_t>(t.state));
+      put_i32(out, t.attempts);
+      put_i32(out, t.failures);
+      put_bool(out, t.placed);
+    }
+  }
+
+  // External reservations, retired jobs, committed calendar.
+  const auto& externals = SA::externals(service);
+  put_u64(out, externals.size());
+  for (const auto& [id, external] : externals) {
+    put_i32(out, id);
+    put_reservation(out, external.r);
+    put_i32(out, external.version);
+    put_bool(out, external.started);
+  }
+  const auto& retired = SA::retired_jobs(service);
+  put_u64(out, retired.size());
+  for (int id : retired) put_i32(out, id);
+  const auto& committed = SA::committed(service);
+  put_u64(out, committed.size());
+  for (const resv::Reservation& r : committed) put_reservation(out, r);
+
+  // Outcomes.
+  const auto& outcomes = SA::outcomes(service);
+  put_u64(out, outcomes.size());
+  for (const online::JobOutcome& o : outcomes) {
+    put_i32(out, o.job_id);
+    put_u8(out, static_cast<std::uint8_t>(o.decision));
+    put_f64(out, o.submit);
+    put_f64(out, o.requested_deadline);
+    put_f64(out, o.counter_offer);
+    put_f64(out, o.start);
+    put_f64(out, o.finish);
+    put_f64(out, o.cpu_hours);
+    put_u64(out, o.schedule.tasks.size());
+    for (const core::TaskReservation& r : o.schedule.tasks)
+      put_task_reservation(out, r);
+  }
+
+  // Metrics.
+  const SA::MetricsState metrics = SA::metrics_state(SA::metrics(service));
+  put_i32(out, metrics.submitted);
+  put_i32(out, metrics.accepted);
+  put_i32(out, metrics.counter_offered);
+  put_i32(out, metrics.rejected);
+  put_u64(out, metrics.turnaround.size());
+  for (double v : metrics.turnaround) put_f64(out, v);
+  put_u64(out, metrics.wait.size());
+  for (double v : metrics.wait) put_f64(out, v);
+  put_u64(out, metrics.stretch.size());
+  for (double v : metrics.stretch) put_f64(out, v);
+  put_f64(out, metrics.total_cpu_hours);
+  put_u64(out, metrics.timeline.size());
+  for (const online::UtilizationPoint& p : metrics.timeline) {
+    put_f64(out, p.time);
+    put_i32(out, p.used);
+  }
+
+  // Repair-engine persistent state.
+  put_bool(out, engine != nullptr);
+  if (engine != nullptr) {
+    const RepairEngine::PersistentState state = engine->persistent_state();
+    put_u64(out, state.pending.size());
+    for (const auto& [id, d] : state.pending) {
+      put_i32(out, id);
+      put_disruption(out, d);
+    }
+    const FtCounters& c = state.counters;
+    put_u64(out, c.disruptions);
+    put_u64(out, c.outages);
+    put_u64(out, c.cancels);
+    put_u64(out, c.extends);
+    put_u64(out, c.shifts);
+    put_u64(out, c.task_failures);
+    put_u64(out, c.no_op_disruptions);
+    put_u64(out, c.repairs_attempted);
+    put_u64(out, c.repairs_succeeded);
+    put_u64(out, c.tasks_replaced);
+    put_u64(out, c.tasks_killed);
+    put_u64(out, c.cascades);
+    put_u64(out, c.fallback_reschedules);
+    put_u64(out, c.jobs_abandoned);
+    put_u64(out, c.deadline_degraded);
+    put_u64(out, c.unresolvable_conflicts);
+    put_u64(out, c.arrival_conflicts);
+    put_f64(out, c.lost_cpu_hours);
+    put_u64(out, state.dispositions.size());
+    for (const JobDisposition& d : state.dispositions) {
+      put_i32(out, d.job);
+      put_f64(out, d.time);
+      put_u8(out, static_cast<std::uint8_t>(d.kind));
+      put_string(out, d.reason);
+    }
+    put_u64(out, state.outages.size());
+    for (const resv::Reservation& r : state.outages) put_reservation(out, r);
+  }
+  out.flush();
+  RESCHED_CHECK(out.good(), "checkpoint write failed");
+}
+
+void load_checkpoint(std::istream& in, online::SchedulerService& service,
+                     RepairEngine* engine) {
+  RESCHED_CHECK(get_u32(in) == kMagic, "not a resched checkpoint");
+  RESCHED_CHECK(get_u32(in) == kVersion,
+                "unsupported checkpoint format version");
+
+  const online::ServiceConfig& config = SA::config(service);
+  RESCHED_CHECK(get_i32(in) == config.capacity,
+                "checkpoint capacity differs from the service config");
+  RESCHED_CHECK(get_f64(in) == config.history_window,
+                "checkpoint history window differs from the service config");
+  RESCHED_CHECK(get_u8(in) == static_cast<std::uint8_t>(config.admission),
+                "checkpoint admission policy differs from the service config");
+  RESCHED_CHECK(get_f64(in) == config.counter_offer_limit,
+                "checkpoint counter-offer limit differs from the service "
+                "config");
+  RESCHED_CHECK(get_bool(in) == config.compact_calendar,
+                "checkpoint compaction flag differs from the service config");
+
+  const double now = get_f64(in);
+  const int used_procs = get_i32(in);
+  const int next_external_id = get_i32(in);
+  const std::uint64_t stale_events = get_u64(in);
+  const bool ft_active = get_bool(in);
+
+  const std::uint64_t next_seq = get_u64(in);
+  std::vector<online::Event> events(static_cast<std::size_t>(get_u64(in)));
+  for (online::Event& e : events) {
+    e.time = get_f64(in);
+    const std::uint8_t type = get_u8(in);
+    RESCHED_CHECK(
+        type <= static_cast<std::uint8_t>(online::EventType::kDisruption),
+        "checkpoint holds an unknown event type");
+    e.type = static_cast<online::EventType>(type);
+    e.job = get_i32(in);
+    e.task = get_i32(in);
+    e.procs = get_i32(in);
+    e.seq = get_u64(in);
+    e.aux = get_i32(in);
+    e.version = get_i32(in);
+  }
+
+  std::map<std::uint64_t, online::JobSubmission> pending_jobs;
+  for (std::uint64_t i = 0, n = get_u64(in); i < n; ++i) {
+    const std::uint64_t seq = get_u64(in);
+    const int job_id = get_i32(in);
+    const double submit = get_f64(in);
+    dag::Dag dag = get_dag(in);
+    std::optional<double> deadline = get_optional_f64(in);
+    pending_jobs.emplace(
+        seq, online::JobSubmission{job_id, submit, std::move(dag), deadline});
+  }
+  std::map<std::uint64_t, resv::Reservation> pending_resv;
+  for (std::uint64_t i = 0, n = get_u64(in); i < n; ++i) {
+    const std::uint64_t seq = get_u64(in);
+    pending_resv.emplace(seq, get_reservation(in));
+  }
+
+  std::map<int, LiveJob> live_jobs;
+  for (std::uint64_t i = 0, n = get_u64(in); i < n; ++i) {
+    const int id = get_i32(in);
+    dag::Dag dag = get_dag(in);
+    std::optional<double> deadline = get_optional_f64(in);
+    const double submit = get_f64(in);
+    const int remaining = get_i32(in);
+    std::vector<LiveTask> tasks(static_cast<std::size_t>(get_u64(in)));
+    for (LiveTask& t : tasks) {
+      t.r = get_task_reservation(in);
+      t.version = get_i32(in);
+      const std::uint8_t state = get_u8(in);
+      RESCHED_CHECK(
+          state <= static_cast<std::uint8_t>(LiveTask::State::kDone),
+          "checkpoint holds an unknown task state");
+      t.state = static_cast<LiveTask::State>(state);
+      t.attempts = get_i32(in);
+      t.failures = get_i32(in);
+      t.placed = get_bool(in);
+    }
+    live_jobs.emplace(id, LiveJob{std::move(dag), deadline, submit, remaining,
+                                  std::move(tasks)});
+  }
+
+  std::map<int, ExternalResv> externals;
+  for (std::uint64_t i = 0, n = get_u64(in); i < n; ++i) {
+    const int id = get_i32(in);
+    ExternalResv external;
+    external.r = get_reservation(in);
+    external.version = get_i32(in);
+    external.started = get_bool(in);
+    externals.emplace(id, external);
+  }
+  std::set<int> retired;
+  for (std::uint64_t i = 0, n = get_u64(in); i < n; ++i)
+    retired.insert(get_i32(in));
+  resv::ReservationList committed(static_cast<std::size_t>(get_u64(in)));
+  for (resv::Reservation& r : committed) r = get_reservation(in);
+
+  std::vector<online::JobOutcome> outcomes(
+      static_cast<std::size_t>(get_u64(in)));
+  for (online::JobOutcome& o : outcomes) {
+    o.job_id = get_i32(in);
+    const std::uint8_t decision = get_u8(in);
+    RESCHED_CHECK(
+        decision <= static_cast<std::uint8_t>(online::Decision::kRejected),
+        "checkpoint holds an unknown admission decision");
+    o.decision = static_cast<online::Decision>(decision);
+    o.submit = get_f64(in);
+    o.requested_deadline = get_f64(in);
+    o.counter_offer = get_f64(in);
+    o.start = get_f64(in);
+    o.finish = get_f64(in);
+    o.cpu_hours = get_f64(in);
+    o.schedule.tasks.resize(static_cast<std::size_t>(get_u64(in)));
+    for (core::TaskReservation& r : o.schedule.tasks)
+      r = get_task_reservation(in);
+  }
+
+  SA::MetricsState metrics;
+  metrics.submitted = get_i32(in);
+  metrics.accepted = get_i32(in);
+  metrics.counter_offered = get_i32(in);
+  metrics.rejected = get_i32(in);
+  metrics.turnaround.resize(static_cast<std::size_t>(get_u64(in)));
+  for (double& v : metrics.turnaround) v = get_f64(in);
+  metrics.wait.resize(static_cast<std::size_t>(get_u64(in)));
+  for (double& v : metrics.wait) v = get_f64(in);
+  metrics.stretch.resize(static_cast<std::size_t>(get_u64(in)));
+  for (double& v : metrics.stretch) v = get_f64(in);
+  metrics.total_cpu_hours = get_f64(in);
+  metrics.timeline.resize(static_cast<std::size_t>(get_u64(in)));
+  for (online::UtilizationPoint& p : metrics.timeline) {
+    p.time = get_f64(in);
+    p.used = get_i32(in);
+  }
+
+  RepairEngine::PersistentState engine_state;
+  const bool has_engine = get_bool(in);
+  if (has_engine) {
+    RESCHED_CHECK(engine != nullptr,
+                  "checkpoint holds repair-engine state; construct the "
+                  "repair engine before loading");
+    for (std::uint64_t i = 0, n = get_u64(in); i < n; ++i) {
+      const int id = get_i32(in);
+      engine_state.pending.emplace(id, get_disruption(in));
+    }
+    FtCounters& c = engine_state.counters;
+    c.disruptions = get_u64(in);
+    c.outages = get_u64(in);
+    c.cancels = get_u64(in);
+    c.extends = get_u64(in);
+    c.shifts = get_u64(in);
+    c.task_failures = get_u64(in);
+    c.no_op_disruptions = get_u64(in);
+    c.repairs_attempted = get_u64(in);
+    c.repairs_succeeded = get_u64(in);
+    c.tasks_replaced = get_u64(in);
+    c.tasks_killed = get_u64(in);
+    c.cascades = get_u64(in);
+    c.fallback_reschedules = get_u64(in);
+    c.jobs_abandoned = get_u64(in);
+    c.deadline_degraded = get_u64(in);
+    c.unresolvable_conflicts = get_u64(in);
+    c.arrival_conflicts = get_u64(in);
+    c.lost_cpu_hours = get_f64(in);
+    engine_state.dispositions.resize(static_cast<std::size_t>(get_u64(in)));
+    for (JobDisposition& d : engine_state.dispositions) {
+      d.job = get_i32(in);
+      d.time = get_f64(in);
+      const std::uint8_t kind = get_u8(in);
+      RESCHED_CHECK(kind <= static_cast<std::uint8_t>(
+                                JobDisposition::Kind::kDeadlineDegraded),
+                    "checkpoint holds an unknown disposition kind");
+      d.kind = static_cast<JobDisposition::Kind>(kind);
+      d.reason = get_string(in);
+    }
+    engine_state.outages.resize(static_cast<std::size_t>(get_u64(in)));
+    for (resv::Reservation& r : engine_state.outages) r = get_reservation(in);
+  }
+
+  // Everything parsed — install. The profile is rebuilt from the committed
+  // list (the engine maintains it as an exact generator of the calendar).
+  SA::now(service) = now;
+  SA::used_procs(service) = used_procs;
+  SA::next_external_id(service) = next_external_id;
+  SA::stale_events(service) = stale_events;
+  SA::ft_active(service) = ft_active || engine != nullptr;
+  SA::queue(service).restore(std::move(events), next_seq);
+  SA::pending_jobs(service) = std::move(pending_jobs);
+  SA::pending_resv(service) = std::move(pending_resv);
+  SA::live_jobs(service) = std::move(live_jobs);
+  SA::externals(service) = std::move(externals);
+  SA::retired_jobs(service) = std::move(retired);
+  SA::committed(service) = std::move(committed);
+  SA::profile(service) =
+      resv::AvailabilityProfile(config.capacity, SA::committed(service));
+  SA::outcomes(service) = std::move(outcomes);
+  SA::set_metrics_state(SA::metrics(service), std::move(metrics));
+  if (engine != nullptr)
+    engine->restore_persistent_state(std::move(engine_state));
+}
+
+}  // namespace resched::ft

@@ -1,0 +1,45 @@
+// Versioned binary checkpoint / restore of the online engine (DESIGN.md §8).
+//
+// A checkpoint captures everything the engine needs to continue a run as
+// if it had never stopped: the event queue (with sequence numbers), every
+// pending submission payload, per-job live placement state (including the
+// DAGs), external reservations, the committed-reservation list, metrics,
+// and — optionally — the repair engine's persistent state (unstruck
+// disruptions plus degradation accounting). The availability profile
+// itself is not serialized: it is rebuilt on load from the committed list,
+// which the engine maintains as an exact generator of the calendar.
+//
+// Restore contract: load into a freshly constructed SchedulerService with
+// the *same* ServiceConfig (the scalar fields are validated against the
+// stream; algorithm parameters are the caller's responsibility — they
+// shape future decisions, so a mismatch silently forks the replay).
+// Resuming a restored engine then produces the same JSONL trace suffix,
+// metrics, and outcomes as the uninterrupted run — byte-identical; the
+// kill-and-resume test in tests/ft_test.cpp enforces this.
+//
+// All doubles round-trip via their IEEE-754 bit patterns; the format is
+// host-endian (a checkpoint restores on the architecture that wrote it)
+// and versioned by a magic + version header for forward evolution.
+#pragma once
+
+#include <iosfwd>
+
+#include "src/ft/repair.hpp"
+#include "src/online/service.hpp"
+
+namespace resched::ft {
+
+/// Serializes the service (and, when given, the repair engine's persistent
+/// state) to `out`. Throws resched::Error on stream failure.
+void save_checkpoint(std::ostream& out, online::SchedulerService& service,
+                     const RepairEngine* engine = nullptr);
+
+/// Restores a checkpoint into `service` (freshly constructed, same config)
+/// and `engine` (freshly constructed on that service). A checkpoint that
+/// carries repair-engine state requires a non-null `engine`; one without
+/// clears a provided engine's persistent state. Throws resched::Error on
+/// magic / version / config mismatch or a truncated stream.
+void load_checkpoint(std::istream& in, online::SchedulerService& service,
+                     RepairEngine* engine = nullptr);
+
+}  // namespace resched::ft

@@ -1,0 +1,16 @@
+#include "src/ft/disruption.hpp"
+
+namespace resched::ft {
+
+const char* to_string(DisruptionType type) {
+  switch (type) {
+    case DisruptionType::kProcOutage: return "proc_outage";
+    case DisruptionType::kReservationCancel: return "resv_cancel";
+    case DisruptionType::kReservationExtend: return "resv_extend";
+    case DisruptionType::kReservationShift: return "resv_shift";
+    case DisruptionType::kTaskFailure: return "task_failure";
+  }
+  return "?";
+}
+
+}  // namespace resched::ft

@@ -1,0 +1,63 @@
+// Typed disruptions for the fault-tolerance subsystem (DESIGN.md §8).
+//
+// A disruption is everything the repair engine (src/ft/repair.*) knows how
+// to survive: part of the platform going down, an external advance
+// reservation changing shape under the scheduler's feet, or a running task
+// dying. Disruptions are plain data — the injector (src/ft/injector.*)
+// generates them deterministically, tests construct them by hand, and the
+// repair engine registers each one under an integer id and delivers it
+// through the online engine's event queue (EventType::kDisruption), so
+// disruptions obey the same total event order as everything else and
+// replays stay byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace resched::ft {
+
+enum class DisruptionType {
+  /// `procs` processors are lost over [time, time + duration): modelled as
+  /// a committed reservation, so every fit query sees the hole. An
+  /// infinite duration is a permanent outage.
+  kProcOutage,
+  /// An external advance reservation is cancelled: its remaining calendar
+  /// footprint is released (capacity is freed, never lost).
+  kReservationCancel,
+  /// An external reservation's end moves `amount` seconds later.
+  kReservationExtend,
+  /// A not-yet-started external reservation slides `amount` seconds later
+  /// (start and end both move).
+  kReservationShift,
+  /// A running task fails: its work so far is lost and it must be retried.
+  kTaskFailure,
+};
+
+const char* to_string(DisruptionType type);
+
+/// One disruption. Fields beyond `type` and `time` are read per type (see
+/// member comments); unused ones are ignored.
+struct Disruption {
+  int id = -1;  ///< dense id; key for the repair engine's payload registry
+  DisruptionType type = DisruptionType::kProcOutage;
+  double time = 0.0;  ///< instant the disruption strikes
+
+  /// kProcOutage: processors lost (clamped to [1, capacity]).
+  int procs = 1;
+  /// kProcOutage: outage length in seconds; infinity = permanent.
+  double duration = 0.0;
+  /// kReservationExtend / kReservationShift: seconds added (> 0).
+  double amount = 0.0;
+  /// Victim selector. kTaskFailure: job id whose running tasks are
+  /// eligible; kReservationCancel/Extend/Shift: external-reservation id.
+  /// -1 picks deterministically among all eligible victims via victim_seed.
+  int target = -1;
+  /// Deterministic victim pick when target < 0: index = seed % eligible.
+  std::uint64_t victim_seed = 0;
+
+  bool permanent() const {
+    return duration == std::numeric_limits<double>::infinity();
+  }
+};
+
+}  // namespace resched::ft

@@ -1,0 +1,75 @@
+// Deterministic fault injector: seeded disruption streams (DESIGN.md §8).
+//
+// Each disruption type gets an independent renewal process — exponential
+// or Weibull inter-arrival times drawn from a stream derived with
+// util::derive_seed(seed, {type tag}) — so enabling one type never
+// perturbs another's sequence, and the same seed always produces the same
+// campaign regardless of which other types are switched on. Per-event
+// parameters (outage width and length, extension amounts, victim picks)
+// come from the same per-type stream.
+//
+// The Weibull option models the wear-out / infant-mortality failure
+// statistics observed on real HPC platforms (shape < 1: bursty; shape > 1:
+// wear-out); shape = 1 degenerates to the exponential. Sampling is by
+// inverse CDF, t = scale * (-log(1 - u))^(1/shape), with the scale chosen
+// so the configured mean inter-arrival is respected:
+// scale = mean / Gamma(1 + 1/shape).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ft/disruption.hpp"
+
+namespace resched::ft {
+
+enum class ArrivalModel { kExponential, kWeibull };
+
+const char* to_string(ArrivalModel model);
+
+struct FaultInjectorConfig {
+  std::uint64_t seed = 1;
+  ArrivalModel arrival = ArrivalModel::kExponential;
+  /// Weibull shape k (> 0); ignored for the exponential model.
+  double weibull_shape = 1.5;
+
+  /// Mean inter-arrival per type, seconds; <= 0 disables the type.
+  double outage_mean = 0.0;
+  double cancel_mean = 0.0;
+  double extend_mean = 0.0;
+  double shift_mean = 0.0;
+  double task_failure_mean = 0.0;
+
+  /// Outage width: uniform in [1, outage_procs_max].
+  int outage_procs_max = 4;
+  /// Outage length: exponential with this mean, seconds.
+  double outage_duration_mean = 3600.0;
+  /// Probability an outage is permanent (duration = infinity).
+  double permanent_prob = 0.0;
+  /// Extension / shift amounts: exponential with these means, seconds.
+  double extend_amount_mean = 3600.0;
+  double shift_amount_mean = 1800.0;
+
+  /// Fixed victims; -1 = seeded pick among all eligible at strike time.
+  int target_job = -1;  ///< task failures
+  int target_ext = -1;  ///< reservation cancel / extend / shift
+};
+
+/// Generates deterministic disruption campaigns. Stateless between calls:
+/// generate() with the same arguments always returns the same sequence.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultInjectorConfig config);
+
+  const FaultInjectorConfig& config() const { return config_; }
+
+  /// Every disruption striking in [from, to), sorted by (time, type), with
+  /// dense ids id_base, id_base + 1, ...
+  std::vector<Disruption> generate(double from, double to,
+                                   int id_base = 0) const;
+
+ private:
+  FaultInjectorConfig config_;
+};
+
+}  // namespace resched::ft

@@ -1,0 +1,659 @@
+#include "src/ft/repair.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "src/core/resscheddl.hpp"
+#include "src/core/ressched.hpp"
+#include "src/dag/task_model.hpp"
+#include "src/ft/service_access.hpp"
+#include "src/obs/obs.hpp"
+#include "src/util/error.hpp"
+
+namespace resched::ft {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+using LiveTask = online::SchedulerService::LiveTask;
+using LiveJob = online::SchedulerService::LiveJob;
+using SA = ServiceAccess;
+}  // namespace
+
+const char* to_string(JobDisposition::Kind kind) {
+  switch (kind) {
+    case JobDisposition::Kind::kAbandoned: return "abandoned";
+    case JobDisposition::Kind::kDeadlineDegraded: return "deadline_degraded";
+  }
+  return "?";
+}
+
+/// Total priority order over damaged placements: deadline jobs first (by
+/// deadline, then job id), then best-effort jobs by id; topological order
+/// within a job so predecessors are always re-placed before successors.
+struct RepairEngine::VictimKey {
+  int prio_class = 1;      ///< 0 = deadline job, 1 = best-effort
+  double deadline = kInf;  ///< +inf for best-effort
+  int job = -1;
+  int topo_rank = 0;
+  int task = -1;
+
+  friend bool operator<(const VictimKey& a, const VictimKey& b) {
+    if (a.prio_class != b.prio_class) return a.prio_class < b.prio_class;
+    if (a.deadline != b.deadline) return a.deadline < b.deadline;
+    if (a.job != b.job) return a.job < b.job;
+    if (a.topo_rank != b.topo_rank) return a.topo_rank < b.topo_rank;
+    return a.task < b.task;
+  }
+};
+
+/// Scratch state of one repair episode (one disruption).
+struct RepairEngine::Episode {
+  double t = 0.0;
+  std::uint64_t seq = 0;
+  /// Damaged placements awaiting re-placement -> earliest allowed start
+  /// (now, or now + backoff for killed tasks).
+  std::map<VictimKey, double> worklist;
+  /// Per-job topological rank cache (rank[task] = position in topo order).
+  std::map<int, std::vector<int>> topo_rank;
+  std::set<int> touched_jobs;
+  std::set<int> fallback_jobs;
+  int placed_count = 0;
+  bool any_eviction = false;
+  bool degraded_path = false;  ///< a fallback, degrade, or abandon happened
+
+  int rank_of(const LiveJob& lj, int job, int task) {
+    auto [it, fresh] = topo_rank.try_emplace(job);
+    if (fresh) {
+      it->second.assign(static_cast<std::size_t>(lj.dag.size()), 0);
+      const std::vector<int>& topo = lj.dag.topological_order();
+      for (int i = 0; i < static_cast<int>(topo.size()); ++i)
+        it->second[static_cast<std::size_t>(topo[i])] = i;
+    }
+    return it->second[static_cast<std::size_t>(task)];
+  }
+};
+
+RepairEngine::RepairEngine(online::SchedulerService& service,
+                           RepairPolicy policy)
+    : service_(service), policy_(policy) {
+  RESCHED_CHECK(policy_.max_retries >= 1, "retry budget must be >= 1");
+  RESCHED_CHECK(policy_.backoff_base > 0.0 && policy_.backoff_cap > 0.0,
+                "backoff parameters must be positive");
+  RESCHED_CHECK(policy_.churn_budget >= 1, "churn budget must be >= 1");
+  RESCHED_CHECK(policy_.permanent_outage_horizon > 0.0,
+                "permanent-outage horizon must be positive");
+  service_.set_disruption_handler(
+      [this](double t, std::uint64_t seq, int id) { handle(t, seq, id); });
+  service_.set_conflict_handler(
+      [this](double t, std::uint64_t seq) { handle_conflict(t, seq); });
+}
+
+void RepairEngine::schedule(const Disruption& d) {
+  RESCHED_CHECK(d.id >= 0, "disruption needs a non-negative id");
+  RESCHED_CHECK(pending_.find(d.id) == pending_.end(),
+                "duplicate disruption id");
+  pending_.emplace(d.id, d);
+  service_.submit_disruption(d.time, d.id);
+}
+
+void RepairEngine::schedule_all(std::span<const Disruption> ds) {
+  for (const Disruption& d : ds) schedule(d);
+}
+
+void RepairEngine::restore_persistent_state(PersistentState state) {
+  pending_ = std::move(state.pending);
+  counters_ = state.counters;
+  dispositions_ = std::move(state.dispositions);
+  outages_ = std::move(state.outages);
+}
+
+void RepairEngine::handle(double t, std::uint64_t seq, int id) {
+  OBS_PHASE("ft.repair");
+  auto it = pending_.find(id);
+  RESCHED_CHECK(it != pending_.end(),
+                "disruption event with an unregistered id");
+  const Disruption d = it->second;
+  pending_.erase(it);
+  ++counters_.disruptions;
+  OBS_COUNT("ft.disruptions", 1);
+
+  Episode ep;
+  ep.t = t;
+  ep.seq = seq;
+  switch (d.type) {
+    case DisruptionType::kProcOutage: apply_outage(ep, d); break;
+    case DisruptionType::kReservationCancel: apply_cancel(ep, d); break;
+    case DisruptionType::kReservationExtend: apply_extend(ep, d); break;
+    case DisruptionType::kReservationShift: apply_shift(ep, d); break;
+    case DisruptionType::kTaskFailure: apply_task_failure(ep, d); break;
+  }
+
+  if (!ep.any_eviction) return;
+  ++counters_.repairs_attempted;
+  replace_all(ep);
+  if (!ep.degraded_path) {
+    ++counters_.repairs_succeeded;
+    OBS_COUNT("ft.repairs_succeeded", 1);
+  }
+}
+
+void RepairEngine::handle_conflict(double t, std::uint64_t seq) {
+  OBS_PHASE("ft.repair");
+  Episode ep;
+  ep.t = t;
+  ep.seq = seq;
+  resolve_oversubscription(ep);
+  if (!ep.any_eviction) return;
+  ++counters_.arrival_conflicts;
+  OBS_COUNT("ft.arrival_conflicts", 1);
+  ++counters_.repairs_attempted;
+  replace_all(ep);
+  if (!ep.degraded_path) {
+    ++counters_.repairs_succeeded;
+    OBS_COUNT("ft.repairs_succeeded", 1);
+  }
+}
+
+// --- Disruption application -----------------------------------------------
+
+void RepairEngine::apply_outage(Episode& ep, const Disruption& d) {
+  const int capacity = SA::config(service_).capacity;
+  const int procs = std::clamp(d.procs, 1, capacity);
+  const double duration =
+      d.permanent() ? policy_.permanent_outage_horizon : d.duration;
+  if (!(duration > 0.0)) {
+    ++counters_.no_op_disruptions;
+    return;
+  }
+  const resv::Reservation outage{ep.t, ep.t + duration, procs};
+  SA::profile(service_).add(outage);
+  SA::committed(service_).push_back(outage);
+  outages_.push_back(outage);
+  ++counters_.outages;
+  OBS_COUNT("ft.outages", 1);
+  trace(ep, "ft_outage", -1, -1, procs, duration);
+  resolve_oversubscription(ep);
+}
+
+void RepairEngine::apply_cancel(Episode& ep, const Disruption& d) {
+  auto& externals = SA::externals(service_);
+  auto it = externals.end();
+  if (d.target >= 0) {
+    it = externals.find(d.target);
+  } else if (!externals.empty()) {
+    it = std::next(externals.begin(),
+                   static_cast<std::ptrdiff_t>(
+                       d.victim_seed % externals.size()));
+  }
+  if (it == externals.end()) {
+    ++counters_.no_op_disruptions;
+    return;
+  }
+  const auto external = it->second;
+  trace(ep, "ft_resv_cancel", -1, -1, external.r.procs, external.r.end);
+  SA::profile(service_).release(external.r);
+  erase_committed(external.r);
+  if (external.started) {
+    // The reservation held processors since its start; keep that elapsed
+    // footprint (the capacity was genuinely consumed) and free the rest.
+    if (ep.t > external.r.start) {
+      const resv::Reservation stub{external.r.start, ep.t, external.r.procs};
+      SA::profile(service_).add(stub);
+      SA::committed(service_).push_back(stub);
+    }
+    SA::change_usage(service_, ep.t, -external.r.procs);
+  }
+  externals.erase(it);  // queued start / end events go stale
+  ++counters_.cancels;
+  // Cancellation only frees capacity — nothing can be over-subscribed.
+}
+
+void RepairEngine::apply_extend(Episode& ep, const Disruption& d) {
+  RESCHED_CHECK(d.amount > 0.0, "extension amount must be positive");
+  auto& externals = SA::externals(service_);
+  auto it = externals.end();
+  if (d.target >= 0) {
+    it = externals.find(d.target);
+  } else if (!externals.empty()) {
+    it = std::next(externals.begin(),
+                   static_cast<std::ptrdiff_t>(
+                       d.victim_seed % externals.size()));
+  }
+  if (it == externals.end()) {
+    ++counters_.no_op_disruptions;
+    return;
+  }
+  auto& external = it->second;
+  const resv::Reservation old = external.r;
+  const resv::Reservation grown{old.start, old.end + d.amount, old.procs};
+  SA::profile(service_).release(old);
+  erase_committed(old);
+  SA::profile(service_).add(grown);
+  SA::committed(service_).push_back(grown);
+  external.r = grown;
+  ++external.version;
+  auto& queue = SA::queue(service_);
+  if (!external.started)
+    queue.push({old.start, online::EventType::kReservationStart, -1, -1,
+                old.procs, 0, it->first, external.version});
+  queue.push({grown.end, online::EventType::kReservationEnd, -1, -1,
+              grown.procs, 0, it->first, external.version});
+  ++counters_.extends;
+  trace(ep, "ft_resv_extend", -1, -1, grown.procs, d.amount);
+  resolve_oversubscription(ep);
+}
+
+void RepairEngine::apply_shift(Episode& ep, const Disruption& d) {
+  RESCHED_CHECK(d.amount > 0.0, "shift amount must be positive");
+  auto& externals = SA::externals(service_);
+  // Only reservations that have not started can slide.
+  std::vector<int> eligible;
+  for (const auto& [id, external] : externals)
+    if (!external.started) eligible.push_back(id);
+  int victim = -1;
+  if (d.target >= 0) {
+    auto eit = externals.find(d.target);
+    if (eit != externals.end() && !eit->second.started) victim = d.target;
+  } else if (!eligible.empty()) {
+    victim = eligible[static_cast<std::size_t>(d.victim_seed %
+                                               eligible.size())];
+  }
+  if (victim < 0) {
+    ++counters_.no_op_disruptions;
+    return;
+  }
+  auto& external = externals.at(victim);
+  const resv::Reservation old = external.r;
+  const resv::Reservation moved{old.start + d.amount, old.end + d.amount,
+                                old.procs};
+  SA::profile(service_).release(old);
+  erase_committed(old);
+  SA::profile(service_).add(moved);
+  SA::committed(service_).push_back(moved);
+  external.r = moved;
+  ++external.version;
+  auto& queue = SA::queue(service_);
+  queue.push({moved.start, online::EventType::kReservationStart, -1, -1,
+              moved.procs, 0, victim, external.version});
+  queue.push({moved.end, online::EventType::kReservationEnd, -1, -1,
+              moved.procs, 0, victim, external.version});
+  ++counters_.shifts;
+  trace(ep, "ft_resv_shift", -1, -1, moved.procs, d.amount);
+  resolve_oversubscription(ep);
+}
+
+void RepairEngine::apply_task_failure(Episode& ep, const Disruption& d) {
+  auto& jobs = SA::live_jobs(service_);
+  std::vector<std::pair<int, int>> running;
+  for (const auto& [job, lj] : jobs) {
+    if (d.target >= 0 && job != d.target) continue;
+    for (int i = 0; i < static_cast<int>(lj.tasks.size()); ++i)
+      if (lj.tasks[i].state == LiveTask::State::kRunning)
+        running.emplace_back(job, i);
+  }
+  if (running.empty()) {
+    ++counters_.no_op_disruptions;
+    return;
+  }
+  const auto [job, task] =
+      running[static_cast<std::size_t>(d.victim_seed % running.size())];
+  const LiveTask& lt = jobs.at(job).tasks[static_cast<std::size_t>(task)];
+  ++counters_.task_failures;
+  trace(ep, "ft_task_failure", job, task, lt.r.procs, ep.t - lt.r.start);
+  evict(ep, job, task, /*failed=*/true);
+}
+
+// --- Classification -------------------------------------------------------
+
+void RepairEngine::resolve_oversubscription(Episode& ep) {
+  auto& profile = SA::profile(service_);
+  auto& jobs = SA::live_jobs(service_);
+  // Scan position: windows before it are either resolved or proven
+  // unresolvable. Evictions only increase availability, so nothing behind
+  // the position can turn negative again.
+  double pos = ep.t;
+  while (true) {
+    // Locate the first over-subscribed window at or after pos in the raw
+    // (unclamped) step function.
+    const auto steps = profile.canonical_steps();
+    double win_start = kInf, win_end = kInf;
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+      if (steps[i].second >= 0) continue;
+      const double end =
+          i + 1 < steps.size() ? steps[i + 1].first : kInf;
+      if (end <= pos) continue;
+      win_start = std::max(steps[i].first, pos);
+      win_end = end;
+      break;
+    }
+    if (win_start == kInf) return;
+
+    // Victim: a live placement overlapping the window. Pending placements
+    // are preferred (no work lost); within a class the latest start goes
+    // first (it delays the least downstream work); ties by (job, task).
+    int best_job = -1, best_task = -1;
+    bool best_pending = false;
+    double best_start = -kInf;
+    for (const auto& [job, lj] : jobs) {
+      for (int i = 0; i < static_cast<int>(lj.tasks.size()); ++i) {
+        const LiveTask& lt = lj.tasks[static_cast<std::size_t>(i)];
+        if (lt.state == LiveTask::State::kDone || !lt.placed) continue;
+        if (!(lt.r.start < win_end && win_start < lt.r.finish)) continue;
+        const bool pending = lt.state == LiveTask::State::kPending;
+        if (best_job >= 0) {
+          if (best_pending && !pending) continue;
+          if (best_pending == pending && lt.r.start <= best_start) continue;
+        }
+        best_job = job;
+        best_task = i;
+        best_pending = pending;
+        best_start = lt.r.start;
+      }
+    }
+    if (best_job < 0) {
+      // Externals (or the outage itself) over-subscribe with no movable
+      // task left — the conflict is between immovable parties. Record it
+      // and move past this window.
+      ++counters_.unresolvable_conflicts;
+      OBS_COUNT("ft.unresolvable_conflicts", 1);
+      pos = win_end;
+      continue;
+    }
+    evict(ep, best_job, best_task, /*failed=*/!best_pending);
+  }
+}
+
+bool RepairEngine::evict(Episode& ep, int job, int task, bool failed) {
+  auto& jobs = SA::live_jobs(service_);
+  auto jit = jobs.find(job);
+  RESCHED_ASSERT(jit != jobs.end(), "evicting a task of a job that is not live");
+  LiveJob& lj = jit->second;
+  LiveTask& lt = lj.tasks.at(static_cast<std::size_t>(task));
+  RESCHED_ASSERT(lt.placed && lt.state != LiveTask::State::kDone,
+                 "evicting a placement that is not live");
+  const bool was_running = lt.state == LiveTask::State::kRunning;
+  RESCHED_ASSERT(failed || !was_running,
+                 "running placements are evicted only as failures");
+
+  release_placement(ep.t, lt.r.as_reservation(), was_running);
+  lt.placed = false;
+  ++lt.version;  // queued start / completion events for this placement die
+  ep.any_eviction = true;
+
+  double floor = ep.t;
+  if (was_running) {
+    SA::change_usage(service_, ep.t, -lt.r.procs);
+    counters_.lost_cpu_hours +=
+        static_cast<double>(lt.r.procs) * (ep.t - lt.r.start) / 3600.0;
+    ++counters_.tasks_killed;
+    OBS_COUNT("ft.tasks_killed", 1);
+    lt.state = LiveTask::State::kPending;
+    ++lt.failures;
+    if (lt.failures > policy_.max_retries) {
+      abandon_job(ep, job, "retry budget exhausted");
+      return false;
+    }
+    floor = ep.t + std::min(policy_.backoff_cap,
+                            policy_.backoff_base *
+                                std::exp2(static_cast<double>(lt.failures - 1)));
+  }
+
+  VictimKey key;
+  key.prio_class = lj.deadline ? 0 : 1;
+  key.deadline = lj.deadline.value_or(kInf);
+  key.job = job;
+  key.topo_rank = ep.rank_of(lj, job, task);
+  key.task = task;
+  ep.worklist.emplace(key, floor);
+  return true;
+}
+
+// --- Repair ---------------------------------------------------------------
+
+void RepairEngine::replace_all(Episode& ep) {
+  auto& jobs = SA::live_jobs(service_);
+  while (!ep.worklist.empty()) {
+    const auto [key, floor] = *ep.worklist.begin();
+    ep.worklist.erase(ep.worklist.begin());
+    if (jobs.find(key.job) == jobs.end()) continue;  // abandoned mid-episode
+    ep.touched_jobs.insert(key.job);
+    if (ep.fallback_jobs.count(key.job) > 0) continue;
+    if (ep.placed_count >= policy_.churn_budget) {
+      ep.fallback_jobs.insert(key.job);
+      continue;
+    }
+    place_task(ep, key, floor);
+    ++ep.placed_count;
+  }
+  for (int job : ep.fallback_jobs) full_reschedule(ep, job);
+  // Deadline audit of the incrementally repaired jobs: a repair that
+  // pushed a job past its deadline escalates to the fallback (backward
+  // RESSCHEDDL has freedom the frontier re-placement lacks).
+  for (int job : ep.touched_jobs) {
+    if (ep.fallback_jobs.count(job) > 0) continue;
+    auto jit = jobs.find(job);
+    if (jit == jobs.end() || !jit->second.deadline) continue;
+    double finish = -kInf;
+    for (const LiveTask& lt : jit->second.tasks)
+      finish = std::max(finish, lt.r.finish);
+    if (finish > *jit->second.deadline) full_reschedule(ep, job);
+  }
+}
+
+void RepairEngine::place_task(Episode& ep, const VictimKey& key,
+                              double floor) {
+  auto& jobs = SA::live_jobs(service_);
+  LiveJob& lj = jobs.at(key.job);
+  LiveTask& lt = lj.tasks.at(static_cast<std::size_t>(key.task));
+  RESCHED_ASSERT(!lt.placed && lt.state == LiveTask::State::kPending,
+                 "re-placing a task that is not an evicted pending one");
+
+  double ready = floor;
+  for (int pred : lj.dag.predecessors(key.task)) {
+    const LiveTask& p = lj.tasks.at(static_cast<std::size_t>(pred));
+    RESCHED_ASSERT(p.placed,
+                   "predecessor must be re-placed before its successor "
+                   "(worklist topological order)");
+    ready = std::max(ready, p.r.finish);
+  }
+
+  auto& profile = SA::profile(service_);
+  const double duration = dag::exec_time(lj.dag.cost(key.task), lt.r.procs);
+  const auto start = profile.earliest_fit(lt.r.procs, duration, ready);
+  RESCHED_ASSERT(start.has_value(), "repair placement must fit eventually");
+  const double finish = *start + duration;
+  const resv::Reservation r{*start, finish, lt.r.procs};
+  profile.add(r);
+  SA::committed(service_).push_back(r);
+  lt.r = core::TaskReservation{lt.r.procs, *start, finish};
+  ++lt.version;
+  ++lt.attempts;
+  lt.placed = true;
+  auto& queue = SA::queue(service_);
+  queue.push({*start, online::EventType::kReservationStart, key.job, key.task,
+              lt.r.procs, 0, -1, lt.version});
+  queue.push({finish, online::EventType::kTaskCompletion, key.job, key.task,
+              lt.r.procs, 0, -1, lt.version});
+  ++counters_.tasks_replaced;
+  OBS_COUNT("ft.tasks_replaced", 1);
+  trace(ep, "ft_task_replaced", key.job, key.task, lt.r.procs, *start);
+
+  // Cascade: successors whose start the new finish overruns are damaged
+  // too. They are topologically later, so they land after the current
+  // position in the worklist.
+  for (int succ : lj.dag.successors(key.task)) {
+    const LiveTask& s = lj.tasks.at(static_cast<std::size_t>(succ));
+    if (!s.placed || s.state != LiveTask::State::kPending) continue;
+    if (s.r.start >= finish) continue;
+    ++counters_.cascades;
+    OBS_COUNT("ft.cascades", 1);
+    evict(ep, key.job, succ, /*failed=*/false);
+  }
+}
+
+// --- Fallback -------------------------------------------------------------
+
+void RepairEngine::full_reschedule(Episode& ep, int job) {
+  auto& jobs = SA::live_jobs(service_);
+  auto jit = jobs.find(job);
+  if (jit == jobs.end()) return;
+  LiveJob& lj = jit->second;
+  ep.degraded_path = true;
+  ++counters_.fallback_reschedules;
+  OBS_COUNT("ft.fallback_reschedules", 1);
+  trace(ep, "ft_fallback", job, -1, 0, 0.0);
+
+  // Release every pending placement; the sub-DAG over those tasks is
+  // rescheduled from scratch. Running and done tasks keep their
+  // reservations; their finishes lower-bound the new schedule through a
+  // single conservative ready floor (simple, and the fallback is the rare
+  // path).
+  auto& profile = SA::profile(service_);
+  const int n = lj.dag.size();
+  std::vector<bool> keep(static_cast<std::size_t>(n), false);
+  double ready = ep.t;
+  for (int i = 0; i < n; ++i) {
+    LiveTask& lt = lj.tasks[static_cast<std::size_t>(i)];
+    switch (lt.state) {
+      case LiveTask::State::kDone:
+        break;  // finish <= now; no constraint beyond ep.t
+      case LiveTask::State::kRunning:
+        ready = std::max(ready, lt.r.finish);
+        break;
+      case LiveTask::State::kPending:
+        if (lt.placed) {
+          profile.release(lt.r.as_reservation());
+          erase_committed(lt.r.as_reservation());
+          lt.placed = false;
+        }
+        ++lt.version;
+        keep[static_cast<std::size_t>(i)] = true;
+        break;
+    }
+  }
+  RESCHED_ASSERT(std::find(keep.begin(), keep.end(), true) != keep.end(),
+                 "fallback reschedule without pending tasks");
+
+  const auto& config = SA::config(service_);
+  const dag::SubDag sub = dag::induced_subdag(lj.dag, keep);
+  const int q_hist = resv::historical_average_available(profile, ep.t,
+                                                        config.history_window);
+  core::AppSchedule schedule;
+  bool scheduled = false;
+  if (lj.deadline && *lj.deadline > ready) {
+    const auto dl = core::schedule_deadline(sub.dag, profile, ready, q_hist,
+                                            *lj.deadline, config.deadline);
+    if (dl.feasible) {
+      schedule = dl.schedule;
+      scheduled = true;
+    }
+  }
+  if (!scheduled && lj.deadline) {
+    // The deadline is unmeetable even with the whole pending sub-DAG
+    // rescheduled from scratch.
+    if (!policy_.degrade_deadline_to_best_effort) {
+      abandon_job(ep, job, "deadline unmeetable after disruption");
+      return;
+    }
+    dispositions_.push_back({job, ep.t, JobDisposition::Kind::kDeadlineDegraded,
+                             "deadline unmeetable after disruption"});
+    lj.deadline.reset();
+    ++counters_.deadline_degraded;
+    OBS_COUNT("ft.deadline_degraded", 1);
+    trace(ep, "ft_degrade", job, -1, 0, 0.0);
+  }
+  if (!scheduled) {
+    schedule = core::schedule_ressched(sub.dag, profile, ready, q_hist,
+                                       config.ressched)
+                   .schedule;
+  }
+
+  auto& queue = SA::queue(service_);
+  for (int k = 0; k < static_cast<int>(schedule.tasks.size()); ++k) {
+    const int orig = sub.to_original[static_cast<std::size_t>(k)];
+    const core::TaskReservation& tr = schedule.tasks[static_cast<std::size_t>(k)];
+    profile.add(tr.as_reservation());
+    SA::committed(service_).push_back(tr.as_reservation());
+    LiveTask& lt = lj.tasks[static_cast<std::size_t>(orig)];
+    lt.r = tr;
+    ++lt.version;
+    ++lt.attempts;
+    lt.placed = true;
+    queue.push({tr.start, online::EventType::kReservationStart, job, orig,
+                tr.procs, 0, -1, lt.version});
+    queue.push({tr.finish, online::EventType::kTaskCompletion, job, orig,
+                tr.procs, 0, -1, lt.version});
+    ++counters_.tasks_replaced;
+  }
+}
+
+void RepairEngine::abandon_job(Episode& ep, int job,
+                               const std::string& reason) {
+  auto& jobs = SA::live_jobs(service_);
+  auto jit = jobs.find(job);
+  RESCHED_ASSERT(jit != jobs.end(), "abandoning a job that is not live");
+  LiveJob& lj = jit->second;
+  ep.degraded_path = true;
+  for (std::size_t i = 0; i < lj.tasks.size(); ++i) {
+    LiveTask& lt = lj.tasks[i];
+    ++lt.version;
+    if (!lt.placed) continue;
+    switch (lt.state) {
+      case LiveTask::State::kDone:
+        break;  // history stays in the calendar
+      case LiveTask::State::kRunning:
+        release_placement(ep.t, lt.r.as_reservation(), /*running=*/true);
+        SA::change_usage(service_, ep.t, -lt.r.procs);
+        counters_.lost_cpu_hours +=
+            static_cast<double>(lt.r.procs) * (ep.t - lt.r.start) / 3600.0;
+        break;
+      case LiveTask::State::kPending:
+        release_placement(ep.t, lt.r.as_reservation(), /*running=*/false);
+        break;
+    }
+  }
+  dispositions_.push_back(
+      {job, ep.t, JobDisposition::Kind::kAbandoned, reason});
+  SA::retired_jobs(service_).insert(job);
+  jobs.erase(jit);
+  ++counters_.jobs_abandoned;
+  OBS_COUNT("ft.jobs_abandoned", 1);
+  trace(ep, "ft_abandon", job, -1, 0, 0.0);
+}
+
+// --- Shared helpers -------------------------------------------------------
+
+void RepairEngine::erase_committed(const resv::Reservation& r) {
+  auto& committed = SA::committed(service_);
+  for (auto it = committed.rbegin(); it != committed.rend(); ++it) {
+    if (it->start == r.start && it->end == r.end && it->procs == r.procs) {
+      committed.erase(std::next(it).base());
+      return;
+    }
+  }
+  RESCHED_ASSERT(false, "released reservation missing from the committed list");
+}
+
+void RepairEngine::release_placement(double t, const resv::Reservation& r,
+                                     bool running) {
+  auto& profile = SA::profile(service_);
+  profile.release(r);
+  erase_committed(r);
+  if (running && t > r.start) {
+    // The elapsed part of the run really held processors — keep it as a
+    // closed stub so utilization history and work conservation survive.
+    const resv::Reservation stub{r.start, t, r.procs};
+    profile.add(stub);
+    SA::committed(service_).push_back(stub);
+  }
+}
+
+void RepairEngine::trace(const Episode& ep, const char* type, int job,
+                         int task, int procs, double value) {
+  SA::trace(service_, {ep.seq, ep.t, type, job, task, procs, value});
+}
+
+}  // namespace resched::ft

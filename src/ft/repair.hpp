@@ -1,0 +1,184 @@
+// Incremental schedule repair under disruptions (DESIGN.md §8).
+//
+// The repair engine registers itself as the online engine's disruption
+// handler (and as its arrival-conflict handler: an external reservation
+// that becomes visible only on arrival — the paper's §6 blind scenario —
+// can collide with placements committed before it was known, and is
+// repaired through the same episode machinery) and, per disruption, runs
+// one *repair episode*:
+//
+//   1. apply — mutate the calendar to reflect the disruption (an outage
+//      becomes a committed reservation so every fit query sees the hole;
+//      reservation cancel / extend / shift rewrite the external's
+//      footprint; a task failure kills the chosen running task).
+//   2. classify — scan the calendar's raw step function for over-subscribed
+//      windows and evict the task placements overlapping them (pending
+//      placements are preferred victims — evicting them loses no work;
+//      running tasks are killed only when they themselves overlap, their
+//      elapsed work is charged as lost, and their retry inherits a capped
+//      exponential backoff). Each evicted placement's version is bumped so
+//      its queued events go stale instead of firing.
+//   3. repair — re-place the evicted frontier in priority order (deadline
+//      jobs first by deadline, then best-effort by job id; topological
+//      order within a job) via earliest-fit queries at the admission-time
+//      processor counts, cascading to successors whose start the new
+//      finish overruns.
+//   4. fall back — when an episode exceeds its churn budget, or an
+//      incrementally repaired job misses its deadline, the job's whole
+//      pending sub-DAG is rescheduled from scratch (RESSCHEDDL against the
+//      deadline, else RESSCHED). A deadline that is unmeetable even then
+//      degrades the job to best-effort or abandons it, per policy; a task
+//      that exhausts its retry budget abandons its job.
+//
+// Every step is deterministic: victims are chosen by total orders on live
+// state, the worklist is an ordered map, and all randomness (injector
+// campaigns, victim picks) is seeded. Replaying the same stream +
+// disruption campaign yields byte-identical traces.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/ft/disruption.hpp"
+#include "src/online/service.hpp"
+#include "src/resv/reservation.hpp"
+
+namespace resched::ft {
+
+struct RepairPolicy {
+  /// A task killed more than this many times abandons its job.
+  int max_retries = 3;
+  /// Retry backoff: delay = min(cap, base * 2^(failures - 1)) seconds.
+  double backoff_base = 30.0;
+  double backoff_cap = 3600.0;
+  /// Incremental re-placements allowed per episode before the remaining
+  /// damaged jobs fall back to a full pending-sub-DAG reschedule.
+  int churn_budget = 16;
+  /// When a deadline is unmeetable even by the fallback reschedule: true
+  /// degrades the job to best-effort, false abandons it.
+  bool degrade_deadline_to_best_effort = true;
+  /// Stand-in horizon for permanent outages (the calendar needs a finite
+  /// reservation; fit queries then naturally skip past it). Default 10y.
+  double permanent_outage_horizon = 315360000.0;
+};
+
+/// Degradation accounting across all episodes. All counters are totals.
+struct FtCounters {
+  std::uint64_t disruptions = 0;  ///< delivered to the engine
+  std::uint64_t outages = 0;
+  std::uint64_t cancels = 0;
+  std::uint64_t extends = 0;
+  std::uint64_t shifts = 0;
+  std::uint64_t task_failures = 0;
+  std::uint64_t no_op_disruptions = 0;  ///< struck with no eligible victim
+  std::uint64_t repairs_attempted = 0;  ///< episodes that evicted something
+  std::uint64_t repairs_succeeded = 0;  ///< ... repaired incrementally
+  std::uint64_t tasks_replaced = 0;     ///< placements re-committed
+  std::uint64_t tasks_killed = 0;       ///< running tasks whose work was lost
+  std::uint64_t cascades = 0;           ///< successor evictions
+  std::uint64_t fallback_reschedules = 0;
+  std::uint64_t jobs_abandoned = 0;
+  std::uint64_t deadline_degraded = 0;
+  /// Over-subscribed windows no task eviction could resolve (external
+  /// reservations colliding with an outage — nothing movable remains).
+  std::uint64_t unresolvable_conflicts = 0;
+  /// Arriving external reservations that collided with existing task
+  /// placements (the §6 blind scenario) and triggered a repair episode.
+  std::uint64_t arrival_conflicts = 0;
+  double lost_cpu_hours = 0.0;  ///< elapsed work of killed tasks
+
+  bool operator==(const FtCounters&) const = default;
+};
+
+/// Terminal per-job verdicts produced by repair.
+struct JobDisposition {
+  int job = -1;
+  double time = 0.0;
+  enum class Kind { kAbandoned, kDeadlineDegraded } kind = Kind::kAbandoned;
+  std::string reason;
+
+  bool operator==(const JobDisposition&) const = default;
+};
+
+const char* to_string(JobDisposition::Kind kind);
+
+/// Owns repair policy + degradation accounting for one SchedulerService.
+/// Construction registers the disruption handler; the engine must outlive
+/// every run_*/process call on the service. Not copyable or movable (the
+/// registered handler captures `this`).
+class RepairEngine {
+ public:
+  explicit RepairEngine(online::SchedulerService& service,
+                        RepairPolicy policy = {});
+  RepairEngine(const RepairEngine&) = delete;
+  RepairEngine& operator=(const RepairEngine&) = delete;
+
+  /// Registers the disruption (id must be fresh) and enqueues its event.
+  void schedule(const Disruption& d);
+  void schedule_all(std::span<const Disruption> ds);
+
+  const RepairPolicy& policy() const { return policy_; }
+  const FtCounters& counters() const { return counters_; }
+  const std::vector<JobDisposition>& dispositions() const {
+    return dispositions_;
+  }
+  /// Outage reservations committed so far (transient ones included; their
+  /// calendar footprint simply ends).
+  const resv::ReservationList& outages() const { return outages_; }
+
+  // --- Checkpoint support (src/ft/checkpoint.*) ---------------------------
+  /// Everything that must survive a kill-and-resume beyond the service's
+  /// own state: disruptions scheduled but not yet struck, plus accounting.
+  struct PersistentState {
+    std::map<int, Disruption> pending;
+    FtCounters counters;
+    std::vector<JobDisposition> dispositions;
+    resv::ReservationList outages;
+  };
+  PersistentState persistent_state() const {
+    return {pending_, counters_, dispositions_, outages_};
+  }
+  /// Restores persistent_state() output verbatim. The matching queue /
+  /// calendar state is restored by the checkpointer through ServiceAccess.
+  void restore_persistent_state(PersistentState state);
+
+ private:
+  struct VictimKey;
+  struct Episode;
+
+  void handle(double t, std::uint64_t seq, int id);
+  void handle_conflict(double t, std::uint64_t seq);
+  void apply_outage(Episode& ep, const Disruption& d);
+  void apply_cancel(Episode& ep, const Disruption& d);
+  void apply_extend(Episode& ep, const Disruption& d);
+  void apply_shift(Episode& ep, const Disruption& d);
+  void apply_task_failure(Episode& ep, const Disruption& d);
+
+  void resolve_oversubscription(Episode& ep);
+  /// Returns false when the eviction abandoned the whole job.
+  bool evict(Episode& ep, int job, int task, bool failed);
+  void replace_all(Episode& ep);
+  void place_task(Episode& ep, const VictimKey& key, double floor);
+  void full_reschedule(Episode& ep, int job);
+  void abandon_job(Episode& ep, int job, const std::string& reason);
+
+  void erase_committed(const resv::Reservation& r);
+  /// Releases a placement; running placements leave their elapsed
+  /// [start, t) stub in the calendar (that work genuinely happened).
+  void release_placement(double t, const resv::Reservation& r, bool running);
+  void trace(const Episode& ep, const char* type, int job, int task, int procs,
+             double value);
+
+  online::SchedulerService& service_;
+  RepairPolicy policy_;
+  std::map<int, Disruption> pending_;
+  FtCounters counters_;
+  std::vector<JobDisposition> dispositions_;
+  resv::ReservationList outages_;
+};
+
+}  // namespace resched::ft

@@ -1,5 +1,7 @@
 #include "src/online/event_queue.hpp"
 
+#include <algorithm>
+
 #include "src/util/error.hpp"
 
 namespace resched::online {
@@ -10,6 +12,7 @@ const char* to_string(EventType type) {
     case EventType::kReservationStart: return "resv_start";
     case EventType::kReservationEnd: return "resv_end";
     case EventType::kTaskCompletion: return "task_done";
+    case EventType::kDisruption: return "disruption";
   }
   return "?";
 }
@@ -17,20 +20,41 @@ const char* to_string(EventType type) {
 std::uint64_t EventQueue::push(Event e) {
   RESCHED_CHECK(e.time == e.time, "event time must not be NaN");
   e.seq = next_seq_++;
-  heap_.push(e);
+  heap_.push_back(e);
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   return e.seq;
 }
 
 const Event& EventQueue::peek() const {
   RESCHED_CHECK(!heap_.empty(), "peek on an empty event queue");
-  return heap_.top();
+  return heap_.front();
 }
 
 Event EventQueue::pop() {
   RESCHED_CHECK(!heap_.empty(), "pop on an empty event queue");
-  Event e = heap_.top();
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event e = heap_.back();
+  heap_.pop_back();
   return e;
+}
+
+std::vector<Event> EventQueue::snapshot() const {
+  std::vector<Event> out = heap_;
+  std::sort(out.begin(), out.end(), [](const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  });
+  return out;
+}
+
+void EventQueue::restore(std::vector<Event> events, std::uint64_t next) {
+  for (const Event& e : events) {
+    RESCHED_CHECK(e.time == e.time, "restored event time must not be NaN");
+    RESCHED_CHECK(e.seq < next, "restored seq must precede next_seq");
+  }
+  heap_ = std::move(events);
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  next_seq_ = next;
 }
 
 }  // namespace resched::online

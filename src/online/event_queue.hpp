@@ -3,16 +3,20 @@
 // The online mode (DESIGN.md "Online mode") turns the offline evaluator
 // into a long-running service: DAG submissions and external advance
 // reservations arrive as a time-ordered stream, and the engine reacts to
-// four event kinds — submission, reservation start, reservation end, and
-// task completion. Correct replay demands *total* determinism, so ties in
-// event time are broken by a monotonically increasing sequence number
+// five event kinds — submission, reservation start, reservation end, task
+// completion, and disruption (the fault-tolerance subsystem's injection
+// point, DESIGN.md §8). Correct replay demands *total* determinism, so ties
+// in event time are broken by a monotonically increasing sequence number
 // assigned at push time: events at the same instant are processed strictly
 // FIFO, independent of heap internals, platform, or build flags.
+//
+// The heap is an explicit vector managed with std::push_heap/pop_heap so
+// the pending-event set can be snapshotted and restored bit-exactly — the
+// checkpoint/restore path (src/ft/checkpoint.*) depends on that.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 namespace resched::online {
@@ -22,12 +26,16 @@ enum class EventType {
   kReservationStart,  ///< a committed reservation begins holding processors
   kReservationEnd,    ///< an external reservation releases its processors
   kTaskCompletion,    ///< a task reservation ends; the task is finished
+  kDisruption,        ///< a fault-tolerance disruption strikes (src/ft/)
 };
 
 const char* to_string(EventType type);
 
 /// One engine event. `seq` is assigned by EventQueue::push and identifies
-/// the event uniquely within one engine run.
+/// the event uniquely within one engine run. `aux` and `version` are
+/// fault-tolerance bookkeeping (external-reservation / disruption id and
+/// placement version); they are never written to traces, so the JSONL
+/// schema is unchanged.
 struct Event {
   double time = 0.0;
   EventType type = EventType::kSubmission;
@@ -35,6 +43,8 @@ struct Event {
   int task = -1;   ///< task id within the job; -1 otherwise
   int procs = 0;   ///< processors involved (reservation events)
   std::uint64_t seq = 0;
+  int aux = -1;     ///< external-reservation id / disruption id; -1 otherwise
+  int version = 0;  ///< placement version the event was pushed for
 };
 
 /// Time-ordered min-heap of events with stable FIFO tie-breaking by `seq`.
@@ -55,6 +65,15 @@ class EventQueue {
   /// Sequence number the next push will receive.
   std::uint64_t next_seq() const { return next_seq_; }
 
+  /// Every pending event, sorted by (time, seq) — a deterministic image of
+  /// the queue for checkpointing. The queue itself is unchanged.
+  std::vector<Event> snapshot() const;
+
+  /// Replaces the queue contents with `events` (their stored seq numbers
+  /// are kept verbatim) and sets the next sequence number. Used by
+  /// checkpoint restore; `next` must exceed every restored seq.
+  void restore(std::vector<Event> events, std::uint64_t next);
+
  private:
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -62,7 +81,7 @@ class EventQueue {
       return a.seq > b.seq;
     }
   };
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::vector<Event> heap_;
   std::uint64_t next_seq_ = 0;
 };
 

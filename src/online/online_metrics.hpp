@@ -12,6 +12,10 @@
 
 #include "src/sim/table.hpp"
 
+namespace resched::ft {
+struct ServiceAccess;
+}  // namespace resched::ft
+
 namespace resched::online {
 
 /// Admission decision for one submission.
@@ -74,6 +78,8 @@ class OnlineMetrics {
   sim::TextTable summary_table() const;
 
  private:
+  friend struct ::resched::ft::ServiceAccess;  // checkpoint serialization
+
   int capacity_;
   int submitted_ = 0;
   int accepted_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "src/obs/obs.hpp"
 #include "src/util/error.hpp"
@@ -55,6 +56,27 @@ void SchedulerService::submit_reservation(double arrival,
   pending_resv_.emplace(seq, r);
 }
 
+void SchedulerService::set_disruption_handler(DisruptionHandler handler) {
+  disruption_handler_ = std::move(handler);
+  if (disruption_handler_) ft_active_ = true;
+}
+
+void SchedulerService::set_conflict_handler(ConflictHandler handler) {
+  conflict_handler_ = std::move(handler);
+  if (conflict_handler_) ft_active_ = true;
+}
+
+std::uint64_t SchedulerService::submit_disruption(double t, int id) {
+  RESCHED_CHECK(t >= now_, "disruption in the engine's past");
+  RESCHED_CHECK(ft_active_,
+                "register a disruption handler before submitting disruptions");
+  Event e;
+  e.time = t;
+  e.type = EventType::kDisruption;
+  e.aux = id;
+  return queue_.push(e);
+}
+
 void SchedulerService::run_until(double t) {
   while (!queue_.empty() && queue_.peek().time <= t) process(queue_.pop());
   now_ = std::max(now_, t);
@@ -75,28 +97,105 @@ void SchedulerService::process(const Event& e) {
       handle_submission(e);
       return;
     case EventType::kReservationStart:
-      trace_event(e);
-      change_usage(e.time, e.procs);
+      handle_reservation_start(e);
       return;
     case EventType::kReservationEnd:
-      trace_event(e);
-      change_usage(e.time, -e.procs);
+      handle_reservation_end(e);
       return;
-    case EventType::kTaskCompletion: {
-      trace_event(e);
-      change_usage(e.time, -e.procs);
-      auto it = live_jobs_.find(e.job);
-      RESCHED_ASSERT(it != live_jobs_.end() && it->second.remaining_tasks > 0,
-                     "task completion for a job that is not live");
-      if (--it->second.remaining_tasks == 0) {
-        const LiveJob& job = it->second;
-        metrics_.record_completion(job.submit, job.first_start, job.finish,
-                                   job.cpu_hours);
-        live_jobs_.erase(it);
-      }
+    case EventType::kTaskCompletion:
+      handle_task_completion(e);
+      return;
+    case EventType::kDisruption:
+      trace_event(e, static_cast<double>(e.aux));
+      RESCHED_ASSERT(disruption_handler_,
+                     "disruption event without a registered handler");
+      disruption_handler_(e.time, e.seq, e.aux);
+      return;
+  }
+}
+
+void SchedulerService::handle_reservation_start(const Event& e) {
+  if (e.job < 0) {  // external reservation
+    auto it = externals_.find(e.aux);
+    if (it == externals_.end() || it->second.version != e.version) {
+      note_stale(e);
       return;
     }
+    it->second.started = true;
+    trace_event(e);
+    change_usage(e.time, e.procs);
+    return;
   }
+  LiveTask* task = find_live_task(e.job, e.task);
+  if (task == nullptr || task->version != e.version ||
+      task->state != LiveTask::State::kPending) {
+    note_stale(e);
+    return;
+  }
+  task->state = LiveTask::State::kRunning;
+  trace_event(e);
+  change_usage(e.time, e.procs);
+}
+
+void SchedulerService::handle_reservation_end(const Event& e) {
+  auto it = externals_.find(e.aux);
+  if (it == externals_.end() || it->second.version != e.version) {
+    note_stale(e);
+    return;
+  }
+  externals_.erase(it);
+  trace_event(e);
+  change_usage(e.time, -e.procs);
+}
+
+void SchedulerService::handle_task_completion(const Event& e) {
+  LiveTask* task = find_live_task(e.job, e.task);
+  if (task == nullptr || task->version != e.version ||
+      task->state != LiveTask::State::kRunning) {
+    note_stale(e);
+    return;
+  }
+  task->state = LiveTask::State::kDone;
+  trace_event(e);
+  change_usage(e.time, -e.procs);
+  auto it = live_jobs_.find(e.job);
+  RESCHED_ASSERT(it != live_jobs_.end() && it->second.remaining_tasks > 0,
+                 "task completion for a job that is not live");
+  if (--it->second.remaining_tasks == 0) {
+    const LiveJob& job = it->second;
+    double first_start = kInf, finish = -kInf, cpu_hours = 0.0;
+    for (const LiveTask& t : job.tasks) {
+      first_start = std::min(first_start, t.r.start);
+      finish = std::max(finish, t.r.finish);
+      cpu_hours += static_cast<double>(t.r.procs) * (t.r.finish - t.r.start) /
+                   3600.0;
+    }
+    metrics_.record_completion(job.submit, first_start, finish, cpu_hours);
+    retired_jobs_.insert(it->first);
+    live_jobs_.erase(it);
+  }
+}
+
+void SchedulerService::note_stale(const Event& e) {
+  RESCHED_ASSERT(ft_active_,
+                 "version-mismatched event without an active disruption "
+                 "handler (engine bug)");
+  // Stale events are expected debris of repair: the placement they were
+  // pushed for was invalidated (or its job retired) before they fired.
+  RESCHED_ASSERT(e.job < 0 || live_jobs_.count(e.job) > 0 ||
+                     retired_jobs_.count(e.job) > 0,
+                 "stale event for a job the engine never admitted");
+  ++stale_events_;
+  OBS_COUNT("ft.stale_events", 1);
+}
+
+SchedulerService::LiveTask* SchedulerService::find_live_task(int job,
+                                                             int task) {
+  auto it = live_jobs_.find(job);
+  if (it == live_jobs_.end()) return nullptr;
+  if (task < 0 || task >= static_cast<int>(it->second.tasks.size()))
+    return nullptr;
+  return &it->second.tasks[static_cast<std::size_t>(task)];
 }
 
 void SchedulerService::handle_submission(const Event& e) {
@@ -107,8 +206,16 @@ void SchedulerService::handle_submission(const Event& e) {
     trace_event(e, r.start);
     profile_.add(r);
     committed_.push_back(r);
-    queue_.push({r.start, EventType::kReservationStart, -1, -1, r.procs, 0});
-    queue_.push({r.end, EventType::kReservationEnd, -1, -1, r.procs, 0});
+    int ext = next_external_id_++;
+    externals_.emplace(ext, ExternalResv{r, 0, false});
+    queue_.push(
+        {r.start, EventType::kReservationStart, -1, -1, r.procs, 0, ext, 0});
+    queue_.push(
+        {r.end, EventType::kReservationEnd, -1, -1, r.procs, 0, ext, 0});
+    // The reservation was unknown until now; placements made before it
+    // arrived may collide with it (§6 blind scenario). Let the repair
+    // engine resolve the over-subscription it just caused.
+    if (conflict_handler_) conflict_handler_(e.time, e.seq);
     return;
   }
   auto jit = pending_jobs_.find(e.seq);
@@ -124,6 +231,9 @@ void SchedulerService::schedule_job(const JobSubmission& job, double t,
                                     std::uint64_t seq) {
   RESCHED_CHECK(live_jobs_.find(job.job_id) == live_jobs_.end(),
                 "job id already live in the engine");
+  RESCHED_CHECK(!ft_active_ || retired_jobs_.count(job.job_id) == 0,
+                "job id reuse is not allowed in fault-tolerant mode (stale "
+                "events could cross generations)");
   OBS_PHASE("online.schedule_job");
   if (config_.compact_calendar) {
     OBS_COUNT("online.compactions", 1);
@@ -179,11 +289,20 @@ void SchedulerService::commit_schedule(const JobSubmission& job, double t,
   for (const core::TaskReservation& task : schedule.tasks)
     rs.push_back(task.as_reservation());
 
+  // Audit snapshot: a rejected (rolled-back) admission must leave the
+  // calendar byte-identical.
+  std::vector<std::pair<double, int>> audit_before;
+  if (config_.audit_rollback) audit_before = profile_.canonical_steps();
+
   resv::AvailabilityProfile::CommitToken token = profile_.commit(rs);
   if (decision == Decision::kCounterOffered &&
       std::isfinite(config_.counter_offer_limit) &&
       counter_offer - t > config_.counter_offer_limit * (*job.deadline - t)) {
     profile_.rollback(token);
+    if (config_.audit_rollback)
+      RESCHED_ASSERT(profile_.canonical_steps() == audit_before,
+                     "rollback left the calendar different from the "
+                     "pre-commit state");
     reject(job, t, seq, counter_offer);
     return;
   }
@@ -194,9 +313,13 @@ void SchedulerService::commit_schedule(const JobSubmission& job, double t,
     start = std::min(start, task.start);
     finish = std::max(finish, task.finish);
   }
-  live_jobs_[job.job_id] = LiveJob{static_cast<int>(schedule.tasks.size()),
-                                   job.submit, start, finish,
-                                   schedule.cpu_hours()};
+  LiveJob live{job.dag, job.deadline, job.submit,
+               static_cast<int>(schedule.tasks.size()),
+               std::vector<LiveTask>()};
+  live.tasks.reserve(schedule.tasks.size());
+  for (const core::TaskReservation& task : schedule.tasks)
+    live.tasks.push_back(LiveTask{task, 0, LiveTask::State::kPending, 1});
+  live_jobs_.emplace(job.job_id, std::move(live));
 
   JobOutcome outcome;
   outcome.job_id = job.job_id;
@@ -222,9 +345,9 @@ void SchedulerService::commit_schedule(const JobSubmission& job, double t,
   for (int i = 0; i < static_cast<int>(schedule.tasks.size()); ++i) {
     const core::TaskReservation& task = schedule.tasks[i];
     queue_.push({task.start, EventType::kReservationStart, job.job_id, i,
-                 task.procs, 0});
+                 task.procs, 0, -1, 0});
     queue_.push({task.finish, EventType::kTaskCompletion, job.job_id, i,
-                 task.procs, 0});
+                 task.procs, 0, -1, 0});
   }
 }
 

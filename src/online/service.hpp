@@ -19,15 +19,28 @@
 // the submitter's stretch limit the commit is rolled back through the
 // profile's rollback token, leaving the calendar untouched.
 //
+// Fault tolerance (DESIGN.md §8): the engine keeps full per-task placement
+// state (reservation, version, pending/running/done) so the src/ft/ repair
+// engine can invalidate and re-place individual allocations after a
+// disruption. Every task / external-reservation event carries the placement
+// version it was pushed for; an event whose version no longer matches the
+// live placement is *stale* (the placement was repaired or the job
+// abandoned) and is skipped. Disruptions are ordinary queue events
+// (EventType::kDisruption) dispatched to a registered handler — the service
+// itself contains no repair policy. With no handler registered the stale
+// paths are unreachable and the engine behaves exactly as before.
+//
 // Determinism: all state changes flow through the event queue (stable FIFO
-// tie-breaking), the algorithms are deterministic, and nothing depends on
-// wall-clock or thread identity — replaying the same stream twice yields
-// byte-identical traces and metrics.
+// tie-breaking), the algorithms are deterministic, all per-job state lives
+// in ordered maps, and nothing depends on wall-clock or thread identity —
+// replaying the same stream twice yields byte-identical traces and metrics.
 #pragma once
 
+#include <functional>
 #include <limits>
+#include <map>
 #include <optional>
-#include <unordered_map>
+#include <set>
 #include <vector>
 
 #include "src/core/resscheddl.hpp"
@@ -38,6 +51,10 @@
 #include "src/online/online_metrics.hpp"
 #include "src/online/trace.hpp"
 #include "src/resv/profile.hpp"
+
+namespace resched::ft {
+struct ServiceAccess;
+}  // namespace resched::ft
 
 namespace resched::online {
 
@@ -60,6 +77,10 @@ struct ServiceConfig {
   /// Drop calendar breakpoints older than now − history_window as the
   /// engine advances, bounding memory for long-running streams.
   bool compact_calendar = true;
+  /// Audit every admission rollback: capture the calendar's canonical steps
+  /// before a tentative commit and assert they are restored after the
+  /// rollback. O(R) per audited admission — a test / debugging knob.
+  bool audit_rollback = false;
 };
 
 /// One application arriving in the stream. Aggregate-initialize (Dag has no
@@ -85,7 +106,10 @@ struct JobOutcome {
   double start = 0.0;   ///< first task start (NaN when rejected)
   double finish = 0.0;  ///< last task finish (NaN when rejected)
   double cpu_hours = 0.0;
-  core::AppSchedule schedule;  ///< empty when rejected
+  /// Admission-time schedule (empty when rejected). Disruption repairs may
+  /// move individual placements afterwards; the live placements are
+  /// tracked by the engine, not re-written here.
+  core::AppSchedule schedule;
 };
 
 class SchedulerService {
@@ -112,9 +136,10 @@ class SchedulerService {
   const resv::AvailabilityProfile& profile() const { return profile_; }
   const OnlineMetrics& metrics() const { return metrics_; }
   const std::vector<JobOutcome>& outcomes() const { return outcomes_; }
-  /// All reservations the engine committed and never rolled back (task
-  /// reservations and external ARs), in commit order — an offline rebuild
-  /// of the calendar from this list matches profile() exactly.
+  /// All reservations currently in the calendar, in commit order — an
+  /// offline rebuild of the calendar from this list matches profile()
+  /// exactly. Rolled-back admissions never enter the list; disruption
+  /// repairs erase the reservations they release.
   const resv::ReservationList& committed_reservations() const {
     return committed_;
   }
@@ -123,17 +148,72 @@ class SchedulerService {
   /// event and admission decision is recorded.
   void set_trace(TraceWriter* trace) { trace_ = trace; }
 
- private:
-  struct LiveJob {
-    int remaining_tasks = 0;
-    double submit = 0.0;
-    double first_start = 0.0;
-    double finish = 0.0;
-    double cpu_hours = 0.0;
+  // --- Fault-tolerance surface (src/ft/) ----------------------------------
+
+  /// Invoked when a kDisruption event is processed: (time, event seq,
+  /// disruption id). Registering a handler switches the engine into
+  /// fault-tolerant mode (stale events tolerated, job-id reuse rejected);
+  /// with no handler the engine behaves exactly as without this feature.
+  using DisruptionHandler =
+      std::function<void(double t, std::uint64_t seq, int id)>;
+  void set_disruption_handler(DisruptionHandler handler);
+
+  /// Invoked after an external advance reservation is committed on arrival.
+  /// A newly visible ("blind", paper §6) reservation can collide with task
+  /// placements committed before it was known — the handler is expected to
+  /// resolve any resulting over-subscription. Registering one switches the
+  /// engine into fault-tolerant mode, like set_disruption_handler.
+  using ConflictHandler = std::function<void(double t, std::uint64_t seq)>;
+  void set_conflict_handler(ConflictHandler handler);
+
+  /// Enqueues a disruption carrying opaque id `id` at time t >= now().
+  /// Returns the event's sequence number.
+  std::uint64_t submit_disruption(double t, int id);
+
+  /// Stale (version-mismatched) events skipped so far — non-zero only when
+  /// disruption repairs rewrote placements.
+  std::uint64_t stale_events() const { return stale_events_; }
+
+  /// Live placement state of one task (exposed for the repair engine and
+  /// for invariant checks in tests).
+  struct LiveTask {
+    core::TaskReservation r;  ///< current committed placement
+    int version = 0;          ///< bumped on every invalidation / re-place
+    enum class State { kPending, kRunning, kDone } state = State::kPending;
+    int attempts = 1;  ///< placement attempts (1 = admission placement)
+    int failures = 0;  ///< times killed while running (retry cap / backoff)
+    /// r is live in the calendar. False only transiently, between a repair
+    /// eviction and the re-placement (or job abandonment) ending the same
+    /// episode.
+    bool placed = true;
   };
+  struct LiveJob {
+    dag::Dag dag;
+    std::optional<double> deadline;
+    double submit = 0.0;
+    int remaining_tasks = 0;
+    std::vector<LiveTask> tasks;  ///< indexed by task id
+  };
+  /// One committed external advance reservation, keyed by a dense id.
+  struct ExternalResv {
+    resv::Reservation r;
+    int version = 0;
+    bool started = false;
+  };
+
+  const std::map<int, LiveJob>& live_jobs() const { return live_jobs_; }
+  const std::map<int, ExternalResv>& external_reservations() const {
+    return externals_;
+  }
+
+ private:
+  friend struct ::resched::ft::ServiceAccess;
 
   void process(const Event& e);
   void handle_submission(const Event& e);
+  void handle_reservation_start(const Event& e);
+  void handle_reservation_end(const Event& e);
+  void handle_task_completion(const Event& e);
   void schedule_job(const JobSubmission& job, double t, std::uint64_t seq);
   /// Commits `schedule` through the profile's commit token, records the
   /// outcome, and pushes start/completion events. A counter-offer exceeding
@@ -144,6 +224,10 @@ class SchedulerService {
   void reject(const JobSubmission& job, double t, std::uint64_t seq,
               double counter_offer);
   void change_usage(double t, int delta);
+  /// Records a version-mismatched event: an invariant violation unless a
+  /// disruption handler is active (only repairs create stale events).
+  void note_stale(const Event& e);
+  LiveTask* find_live_task(int job, int task);
   void trace_event(const Event& e, double value = 0.0);
   void trace_decision(std::uint64_t seq, double t, Decision decision, int job,
                       double value);
@@ -154,12 +238,21 @@ class SchedulerService {
   OnlineMetrics metrics_;
   std::vector<JobOutcome> outcomes_;
   resv::ReservationList committed_;
-  std::unordered_map<std::uint64_t, JobSubmission> pending_jobs_;
-  std::unordered_map<std::uint64_t, resv::Reservation> pending_resv_;
-  std::unordered_map<int, LiveJob> live_jobs_;
+  std::map<std::uint64_t, JobSubmission> pending_jobs_;
+  std::map<std::uint64_t, resv::Reservation> pending_resv_;
+  std::map<int, LiveJob> live_jobs_;
+  std::map<int, ExternalResv> externals_;
+  /// Job ids that completed or were abandoned — stale events referencing
+  /// them are tolerated (in ft mode) instead of asserting.
+  std::set<int> retired_jobs_;
+  DisruptionHandler disruption_handler_;
+  ConflictHandler conflict_handler_;
   TraceWriter* trace_ = nullptr;
   double now_;
   int used_procs_ = 0;
+  int next_external_id_ = 0;
+  std::uint64_t stale_events_ = 0;
+  bool ft_active_ = false;
 };
 
 }  // namespace resched::online

@@ -47,6 +47,18 @@ void AvailabilityProfile::release(const Reservation& r) {
 
 AvailabilityProfile::CommitToken AvailabilityProfile::commit(
     std::span<const Reservation> rs) {
+  // Validate the whole group before touching the calendar: add() throws on
+  // malformed reservations, and a throw after a partial commit would leak
+  // the already-added ones (no token reaches the caller to roll back).
+  // Checking up front gives the strong guarantee — either every
+  // reservation is committed or the profile is untouched.
+  for (const Reservation& r : rs) {
+    RESCHED_CHECK(r.procs >= 0,
+                  "commit group holds a reservation with negative procs");
+    RESCHED_CHECK(r.start < r.end,
+                  "commit group holds a reservation without positive "
+                  "duration");
+  }
   CommitToken token;
   token.reservations_.reserve(rs.size());
   for (const Reservation& r : rs) {

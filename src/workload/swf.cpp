@@ -1,7 +1,9 @@
 #include "src/workload/swf.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -12,15 +14,16 @@ namespace resched::workload {
 
 namespace {
 
-/// Parses one numeric token; SWF uses -1 for "unknown".
-double parse_field(const std::string& tok, const std::string& context) {
+/// Parses one numeric token; nullopt on non-numeric, trailing garbage,
+/// or non-finite values. SWF uses -1 for "unknown".
+std::optional<double> parse_field(const std::string& tok) {
   try {
     std::size_t pos = 0;
     double v = std::stod(tok, &pos);
-    RESCHED_CHECK(pos == tok.size(), "trailing characters in SWF field");
+    if (pos != tok.size() || !std::isfinite(v)) return std::nullopt;
     return v;
   } catch (const std::exception&) {
-    throw Error("malformed SWF field '" + tok + "' in " + context);
+    return std::nullopt;
   }
 }
 
@@ -59,18 +62,56 @@ Log read_swf(std::istream& in, const std::string& name,
     std::string tok;
     while (fields >> tok) toks.push_back(tok);
     if (toks.empty()) continue;
-    RESCHED_CHECK(toks.size() >= 5,
-                  "SWF line " + std::to_string(lineno) + " has too few fields");
 
-    std::string ctx = name + ":" + std::to_string(lineno);
+    const std::string ctx = name + ":" + std::to_string(lineno);
+    auto malformed = [&](const std::string& what) {
+      if (opts.strict) throw Error(what + " in " + ctx);
+      if (opts.diagnostics != nullptr) {
+        SwfDiagnostics& d = *opts.diagnostics;
+        ++d.malformed_lines;
+        if (static_cast<int>(d.messages.size()) < SwfDiagnostics::kMaxMessages)
+          d.messages.push_back(what + " in " + ctx);
+      }
+    };
+
     // Field layout: 1 job id, 2 submit, 3 wait, 4 runtime, 5 allocated procs.
-    double submit = parse_field(toks[1], ctx);
-    double wait = parse_field(toks[2], ctx);
-    double runtime = parse_field(toks[3], ctx);
-    int procs = static_cast<int>(parse_field(toks[4], ctx));
-
-    if (opts.skip_invalid && (runtime <= 0.0 || procs <= 0 || submit < 0.0))
+    if (toks.size() < 5) {
+      malformed("truncated SWF line (" + std::to_string(toks.size()) +
+                " of 5 required fields)");
       continue;
+    }
+    std::optional<double> vals[4];
+    bool bad = false;
+    for (int f = 0; f < 4 && !bad; ++f) {
+      vals[f] = parse_field(toks[static_cast<std::size_t>(f) + 1]);
+      if (!vals[f]) {
+        malformed("malformed SWF field '" + toks[static_cast<std::size_t>(f) + 1] +
+                  "'");
+        bad = true;
+      }
+    }
+    if (bad) continue;
+    const double submit = *vals[0];
+    const double wait = *vals[1];
+    const double runtime = *vals[2];
+    const double procs_raw = *vals[3];
+    // -1 is SWF's "unknown" sentinel; any other negative value is garbage.
+    if ((runtime < 0.0 && runtime != -1.0) ||
+        (submit < 0.0 && submit != -1.0) || (wait < 0.0 && wait != -1.0) ||
+        (procs_raw < 0.0 && procs_raw != -1.0)) {
+      malformed("negative SWF value that is not the -1 unknown sentinel");
+      continue;
+    }
+    if (procs_raw > 1e9) {
+      malformed("SWF processor count '" + toks[4] + "' out of range");
+      continue;
+    }
+    const int procs = static_cast<int>(procs_raw);
+
+    if (opts.skip_invalid && (runtime <= 0.0 || procs <= 0 || submit < 0.0)) {
+      if (opts.diagnostics != nullptr) ++opts.diagnostics->invalid_jobs;
+      continue;
+    }
     Job job;
     job.submit = submit;
     job.start = submit + std::max(0.0, wait);

@@ -11,10 +11,29 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "src/workload/log.hpp"
 
 namespace resched::workload {
+
+/// Per-parse account of lines the reader could not (or chose not to) turn
+/// into jobs. Archive logs in the wild carry truncated lines, non-numeric
+/// tokens, and bogus negative values; the reader skips those instead of
+/// aborting a multi-hundred-thousand-line parse halfway through.
+struct SwfDiagnostics {
+  /// Structurally bad lines skipped: truncated (< 5 fields), non-numeric
+  /// tokens, non-finite values, negative values that are not the -1
+  /// "unknown" sentinel, or processor counts outside int range.
+  int malformed_lines = 0;
+  /// Well-formed lines whose job is unusable (unknown or zero runtime /
+  /// processors) and was dropped by SwfReadOptions::skip_invalid.
+  int invalid_jobs = 0;
+  /// One human-readable message per malformed line, capped at
+  /// kMaxMessages (the counter keeps counting past the cap).
+  std::vector<std::string> messages;
+  static constexpr int kMaxMessages = 32;
+};
 
 /// Options controlling SWF parsing.
 struct SwfReadOptions {
@@ -24,9 +43,15 @@ struct SwfReadOptions {
   /// Platform size override; 0 means "use MaxProcs/MaxNodes from the header,
   /// or the max observed allocation if the header lacks it".
   int cpus_override = 0;
+  /// Throw resched::Error on the first malformed line instead of skipping
+  /// it with a diagnostic.
+  bool strict = false;
+  /// Optional sink for skip accounting (borrowed; may be null).
+  SwfDiagnostics* diagnostics = nullptr;
 };
 
-/// Parses an SWF stream. Throws resched::Error on malformed numeric fields.
+/// Parses an SWF stream. Malformed lines are skipped with a diagnostic
+/// (throws resched::Error instead when opts.strict).
 Log read_swf(std::istream& in, const std::string& name,
              const SwfReadOptions& opts = {});
 

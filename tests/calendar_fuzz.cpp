@@ -1,7 +1,9 @@
 // Standalone bounded differential fuzzer: the indexed reservation calendar
 // (treap-backed AvailabilityProfile) against the linear-scan oracle, under
 // adversarial mutation sequences — sliver durations, exact abutment,
-// overlap stacks, zero-proc no-ops, interleaved release/compact.
+// overlap stacks, zero-proc no-ops, interleaved release/compact, and
+// grouped commits whose runs are randomly cancelled afterwards (the repair
+// engine's rollback-under-disruption path).
 //
 // Unlike the gtest CalendarFuzz suite (tests/fuzz_test.cpp), this driver
 // has an explicit iteration budget so CI can run a bounded smoke pass on
@@ -55,6 +57,14 @@ bool run_campaign(std::uint64_t seed, const Budget& budget) {
   resv::AvailabilityProfile indexed(p);
   resv::LinearProfile oracle(p);
   std::vector<resv::Reservation> live;
+  /// Groups committed through the token API; their members are cancelled
+  /// only as a whole (rollback) or dropped by compaction — mirroring how
+  /// an admission's reservations live and die together.
+  struct Group {
+    resv::AvailabilityProfile::CommitToken token;
+    resv::ReservationList members;
+  };
+  std::vector<Group> groups;
 
   auto apply = [&](const resv::Reservation& r) {
     indexed.add(r);
@@ -64,7 +74,31 @@ bool run_campaign(std::uint64_t seed, const Budget& budget) {
 
   for (int i = 0; i < budget.rounds; ++i) {
     double dice = rng.uniform(0.0, 1.0);
-    if (dice < 0.55 || live.empty()) {
+    if (dice >= 0.85 && dice < 0.93) {
+      // Commit a run of reservations as one group (admission-style).
+      resv::ReservationList members;
+      const int n = static_cast<int>(rng.uniform_int(2, 5));
+      double cursor = rng.uniform(0.0, 60.0) * 3600.0;
+      for (int k = 0; k < n; ++k) {
+        double dur = rng.uniform(0.2, 8.0) * 3600.0;
+        members.push_back(
+            {cursor, cursor + dur, static_cast<int>(rng.uniform_int(1, p))});
+        cursor += rng.bernoulli(0.5) ? dur : dur / 2;  // chain or overlap
+      }
+      Group g;
+      g.token = indexed.commit(members);
+      for (const resv::Reservation& r : members) oracle.add(r);
+      g.members = std::move(members);
+      groups.push_back(std::move(g));
+    } else if (dice >= 0.93 && !groups.empty()) {
+      // Cancel a previously committed run: roll the whole group back.
+      std::size_t pick = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(groups.size()) - 1));
+      indexed.rollback(groups[pick].token);
+      for (const resv::Reservation& r : groups[pick].members)
+        oracle.release(r);
+      groups.erase(groups.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else if (dice < 0.55 || live.empty()) {
       double start = rng.uniform(-10.0, 80.0) * 3600.0;
       double dur = rng.bernoulli(0.25) ? rng.uniform(1e-9, 1e-3)  // sliver
                                        : rng.uniform(0.2, 12.0) * 3600.0;
@@ -88,6 +122,14 @@ bool run_campaign(std::uint64_t seed, const Budget& budget) {
       oracle.compact(horizon);
       std::erase_if(live, [&](const resv::Reservation& r) {
         return r.start < horizon;
+      });
+      // A token whose members were (even partially) compacted away can no
+      // longer be rolled back — forget those groups, like the service
+      // forgets tokens once an admission is final.
+      std::erase_if(groups, [&](const Group& g) {
+        for (const resv::Reservation& r : g.members)
+          if (r.start < horizon) return true;
+        return false;
       });
     }
 

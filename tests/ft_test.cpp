@@ -1,0 +1,601 @@
+// Fault-tolerance subsystem tests: deterministic disruption campaigns
+// (injector streams), per-disruption repair semantics (outage eviction and
+// re-placement, failure retry with capped backoff, retry-cap abandonment,
+// reservation cancel / extend / shift, deadline fallback and degradation),
+// and checkpoint kill-and-resume byte-identity of the JSONL trace.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "src/ft/checkpoint.hpp"
+#include "src/ft/disruption.hpp"
+#include "src/ft/injector.hpp"
+#include "src/ft/repair.hpp"
+#include "src/dag/daggen.hpp"
+#include "src/online/service.hpp"
+#include "src/online/trace.hpp"
+#include "src/util/error.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace resched;
+using ft::Disruption;
+using ft::DisruptionType;
+using ft::FaultInjector;
+using ft::FaultInjectorConfig;
+using ft::JobDisposition;
+using ft::RepairEngine;
+using ft::RepairPolicy;
+using online::JobSubmission;
+using online::SchedulerService;
+using online::ServiceConfig;
+using LiveTask = SchedulerService::LiveTask;
+
+dag::Dag one_task_dag(double seq_time, double alpha = 0.0) {
+  return dag::Dag({{seq_time, alpha}}, {});
+}
+
+ServiceConfig small_config(int capacity = 8) {
+  ServiceConfig config;
+  config.capacity = capacity;
+  config.compact_calendar = false;  // strict rebuild-equality checks below
+  return config;
+}
+
+/// The calendar must stay an exact generator of committed_reservations().
+void expect_calendar_matches_committed(SchedulerService& service) {
+  resv::AvailabilityProfile rebuilt(service.profile().capacity(),
+                                    service.committed_reservations());
+  EXPECT_EQ(service.profile().canonical_steps(), rebuilt.canonical_steps());
+}
+
+bool same_disruption(const Disruption& a, const Disruption& b) {
+  return a.id == b.id && a.type == b.type && a.time == b.time &&
+         a.procs == b.procs &&
+         ((std::isinf(a.duration) && std::isinf(b.duration)) ||
+          a.duration == b.duration) &&
+         a.amount == b.amount && a.target == b.target &&
+         a.victim_seed == b.victim_seed;
+}
+
+// --- Injector ---------------------------------------------------------------
+
+TEST(FaultInjector, DeterministicCampaigns) {
+  FaultInjectorConfig config;
+  config.seed = 42;
+  config.outage_mean = 5000.0;
+  config.cancel_mean = 8000.0;
+  config.task_failure_mean = 6000.0;
+  FaultInjector a(config), b(config);
+  auto ca = a.generate(0.0, 100000.0);
+  auto cb = b.generate(0.0, 100000.0);
+  ASSERT_EQ(ca.size(), cb.size());
+  ASSERT_FALSE(ca.empty());
+  for (std::size_t i = 0; i < ca.size(); ++i)
+    EXPECT_TRUE(same_disruption(ca[i], cb[i])) << "index " << i;
+
+  config.seed = 43;
+  auto cc = FaultInjector(config).generate(0.0, 100000.0);
+  bool any_diff = cc.size() != ca.size();
+  for (std::size_t i = 0; !any_diff && i < ca.size(); ++i)
+    any_diff = !same_disruption(ca[i], cc[i]);
+  EXPECT_TRUE(any_diff) << "different seeds produced identical campaigns";
+}
+
+TEST(FaultInjector, CampaignIsSortedWindowedAndDenselyNumbered) {
+  FaultInjectorConfig config;
+  config.seed = 7;
+  config.outage_mean = 3000.0;
+  config.cancel_mean = 4000.0;
+  config.extend_mean = 4500.0;
+  config.shift_mean = 5000.0;
+  config.task_failure_mean = 3500.0;
+  auto campaign = FaultInjector(config).generate(1000.0, 50000.0, 100);
+  ASSERT_FALSE(campaign.empty());
+  for (std::size_t i = 0; i < campaign.size(); ++i) {
+    EXPECT_EQ(campaign[i].id, 100 + static_cast<int>(i));
+    EXPECT_GE(campaign[i].time, 1000.0);
+    EXPECT_LT(campaign[i].time, 50000.0);
+    if (i > 0) {
+      EXPECT_LE(campaign[i - 1].time, campaign[i].time);
+    }
+  }
+}
+
+TEST(FaultInjector, StreamsArePerTypeIndependent) {
+  FaultInjectorConfig lone;
+  lone.seed = 9;
+  lone.outage_mean = 4000.0;
+  auto only_outages = FaultInjector(lone).generate(0.0, 80000.0);
+
+  FaultInjectorConfig mixed = lone;
+  mixed.cancel_mean = 2500.0;
+  mixed.task_failure_mean = 3000.0;
+  auto combined = FaultInjector(mixed).generate(0.0, 80000.0);
+
+  std::vector<Disruption> outages;
+  for (const Disruption& d : combined)
+    if (d.type == DisruptionType::kProcOutage) outages.push_back(d);
+  ASSERT_EQ(outages.size(), only_outages.size());
+  for (std::size_t i = 0; i < outages.size(); ++i) {
+    EXPECT_EQ(outages[i].time, only_outages[i].time) << "index " << i;
+    EXPECT_EQ(outages[i].procs, only_outages[i].procs);
+    EXPECT_EQ(outages[i].duration, only_outages[i].duration);
+  }
+}
+
+TEST(FaultInjector, WeibullRespectsConfiguredMeanRate) {
+  FaultInjectorConfig config;
+  config.seed = 11;
+  config.arrival = ft::ArrivalModel::kWeibull;
+  config.weibull_shape = 1.5;
+  config.outage_mean = 2000.0;
+  auto campaign = FaultInjector(config).generate(0.0, 2.0e6);
+  // ~1000 expected; a deterministic draw, so the band just guards the
+  // inverse-CDF scale factor (mean / Gamma(1 + 1/k)).
+  EXPECT_GT(campaign.size(), 700u);
+  EXPECT_LT(campaign.size(), 1400u);
+}
+
+TEST(FaultInjector, ValidatesConfiguration) {
+  FaultInjectorConfig bad;
+  bad.weibull_shape = 0.0;
+  EXPECT_THROW(FaultInjector{bad}, resched::Error);
+  FaultInjectorConfig bad2;
+  bad2.outage_procs_max = 0;
+  EXPECT_THROW(FaultInjector{bad2}, resched::Error);
+}
+
+// --- Repair: outages --------------------------------------------------------
+
+TEST(RepairEngine, OutageEvictsPendingPlacementAndReplacesIt) {
+  SchedulerService service(small_config());
+  RepairEngine engine(service);
+  // Full platform blocked until t=1000, so the job lands at t=1000.
+  service.submit_reservation(0.0, {0.0, 1000.0, 8});
+  service.submit({0, 0.0, one_task_dag(800.0), std::nullopt});
+  service.run_until(10.0);
+  ASSERT_EQ(service.live_jobs().count(0), 1u);
+  const LiveTask before = service.live_jobs().at(0).tasks[0];
+  EXPECT_EQ(before.state, LiveTask::State::kPending);
+  EXPECT_DOUBLE_EQ(before.r.start, 1000.0);
+
+  // Full-width outage [999, 5999): the task placement must move past it.
+  Disruption d;
+  d.id = 0;
+  d.type = DisruptionType::kProcOutage;
+  d.time = 999.0;
+  d.procs = 8;
+  d.duration = 5000.0;
+  engine.schedule(d);
+  service.run_until(999.0);
+
+  const LiveTask& after = service.live_jobs().at(0).tasks[0];
+  EXPECT_EQ(after.state, LiveTask::State::kPending);
+  EXPECT_GE(after.r.start, 5999.0);
+  EXPECT_GT(after.version, before.version);
+  EXPECT_EQ(after.attempts, 2);
+  EXPECT_EQ(after.failures, 0);  // evicted while pending: not a failure
+
+  EXPECT_EQ(engine.counters().outages, 1u);
+  EXPECT_EQ(engine.counters().repairs_attempted, 1u);
+  EXPECT_EQ(engine.counters().repairs_succeeded, 1u);
+  EXPECT_EQ(engine.counters().tasks_replaced, 1u);
+  EXPECT_EQ(engine.counters().tasks_killed, 0u);
+  // [999, 1000): external (8) + outage (8) with no movable task.
+  EXPECT_EQ(engine.counters().unresolvable_conflicts, 1u);
+  expect_calendar_matches_committed(service);
+
+  service.run_all();
+  EXPECT_EQ(service.metrics().completed(), 1);
+  EXPECT_EQ(service.stale_events(), 2u);  // the dead placement's start + done
+  EXPECT_TRUE(service.live_jobs().empty());
+  expect_calendar_matches_committed(service);
+}
+
+TEST(RepairEngine, PermanentOutageUsesFiniteHorizon) {
+  RepairPolicy policy;
+  policy.permanent_outage_horizon = 50000.0;
+  SchedulerService service(small_config());
+  RepairEngine engine(service, policy);
+  service.submit({0, 0.0, one_task_dag(800.0, 0.5), std::nullopt});
+  Disruption d;
+  d.id = 0;
+  d.type = DisruptionType::kProcOutage;
+  d.time = 10.0;
+  d.procs = 8;
+  d.duration = std::numeric_limits<double>::infinity();
+  engine.schedule(d);
+  service.run_all();
+  // The killed-or-evicted task re-lands after the synthetic horizon.
+  EXPECT_EQ(service.metrics().completed(), 1);
+  ASSERT_EQ(engine.outages().size(), 1u);
+  EXPECT_DOUBLE_EQ(engine.outages()[0].end, 50010.0);
+  expect_calendar_matches_committed(service);
+}
+
+// --- Repair: task failures --------------------------------------------------
+
+TEST(RepairEngine, TaskFailureRetriesWithBackoffAndKeepsElapsedStub) {
+  SchedulerService service(small_config());
+  RepairEngine engine(service);  // backoff base 30s
+  service.submit({0, 0.0, one_task_dag(3600.0, 1.0), std::nullopt});
+  Disruption d;
+  d.id = 0;
+  d.type = DisruptionType::kTaskFailure;
+  d.time = 600.0;
+  d.target = 0;
+  engine.schedule(d);
+  service.run_until(600.0);
+
+  const LiveTask& task = service.live_jobs().at(0).tasks[0];
+  EXPECT_EQ(task.state, LiveTask::State::kPending);
+  EXPECT_EQ(task.failures, 1);
+  EXPECT_EQ(task.attempts, 2);
+  EXPECT_DOUBLE_EQ(task.r.start, 630.0);  // 600 + 30 * 2^0
+  EXPECT_EQ(engine.counters().task_failures, 1u);
+  EXPECT_EQ(engine.counters().tasks_killed, 1u);
+  EXPECT_DOUBLE_EQ(engine.counters().lost_cpu_hours,
+                   static_cast<double>(task.r.procs) * 600.0 / 3600.0);
+  // The elapsed [0, 600) stub stays committed — that work happened.
+  bool found_stub = false;
+  for (const resv::Reservation& r : service.committed_reservations())
+    found_stub |= r.start == 0.0 && r.end == 600.0;
+  EXPECT_TRUE(found_stub);
+  expect_calendar_matches_committed(service);
+
+  service.run_all();
+  EXPECT_EQ(service.metrics().completed(), 1);
+  const auto& timeline = service.metrics().usage_timeline();
+  ASSERT_FALSE(timeline.empty());
+  EXPECT_EQ(timeline.back().used, 0);
+}
+
+TEST(RepairEngine, RetryCapAbandonsTheJob) {
+  RepairPolicy policy;
+  policy.max_retries = 2;
+  SchedulerService service(small_config());
+  RepairEngine engine(service, policy);
+  service.submit({0, 0.0, one_task_dag(3600.0, 1.0), std::nullopt});
+  // Three kills: failures 1 and 2 retry (backoff 30 then 60); the third
+  // exhausts the budget.
+  for (int i = 0; i < 3; ++i) {
+    Disruption d;
+    d.id = i;
+    d.type = DisruptionType::kTaskFailure;
+    d.time = 600.0 * (i + 1);
+    d.target = 0;
+    engine.schedule(d);
+  }
+  service.run_all();
+
+  EXPECT_EQ(engine.counters().task_failures, 3u);
+  EXPECT_EQ(engine.counters().jobs_abandoned, 1u);
+  ASSERT_EQ(engine.dispositions().size(), 1u);
+  EXPECT_EQ(engine.dispositions()[0].job, 0);
+  EXPECT_EQ(engine.dispositions()[0].kind, JobDisposition::Kind::kAbandoned);
+  EXPECT_TRUE(service.live_jobs().empty());
+  EXPECT_EQ(service.metrics().completed(), 0);
+  const auto& timeline = service.metrics().usage_timeline();
+  ASSERT_FALSE(timeline.empty());
+  EXPECT_EQ(timeline.back().used, 0);
+  expect_calendar_matches_committed(service);
+
+  // Retired ids stay burned in fault-tolerant mode.
+  service.submit({0, service.now() + 1.0, one_task_dag(10.0), std::nullopt});
+  EXPECT_THROW(service.run_all(), resched::Error);
+}
+
+TEST(RepairEngine, TaskFailureWithNothingRunningIsANoOp) {
+  SchedulerService service(small_config());
+  RepairEngine engine(service);
+  Disruption d;
+  d.id = 0;
+  d.type = DisruptionType::kTaskFailure;
+  d.time = 5.0;
+  engine.schedule(d);
+  service.run_all();
+  EXPECT_EQ(engine.counters().no_op_disruptions, 1u);
+  EXPECT_EQ(engine.counters().disruptions, 1u);
+  EXPECT_EQ(engine.counters().repairs_attempted, 0u);
+}
+
+// --- Repair: external reservations ------------------------------------------
+
+TEST(RepairEngine, CancelReleasesRemainderAndKeepsElapsedStub) {
+  SchedulerService service(small_config());
+  RepairEngine engine(service);
+  service.submit_reservation(0.0, {100.0, 10000.0, 4});
+  Disruption d;
+  d.id = 0;
+  d.type = DisruptionType::kReservationCancel;
+  d.time = 500.0;
+  d.target = 0;
+  engine.schedule(d);
+  service.run_until(500.0);
+
+  EXPECT_TRUE(service.external_reservations().empty());
+  EXPECT_EQ(engine.counters().cancels, 1u);
+  EXPECT_EQ(service.profile().available_at(600.0), 8);
+  bool found_stub = false;
+  for (const resv::Reservation& r : service.committed_reservations())
+    found_stub |= r.start == 100.0 && r.end == 500.0 && r.procs == 4;
+  EXPECT_TRUE(found_stub);
+  expect_calendar_matches_committed(service);
+
+  service.run_all();
+  EXPECT_EQ(service.stale_events(), 1u);  // the cancelled end event
+  const auto& timeline = service.metrics().usage_timeline();
+  ASSERT_FALSE(timeline.empty());
+  EXPECT_EQ(timeline.back().used, 0);
+}
+
+TEST(RepairEngine, ExtensionDisplacesCollidingPlacement) {
+  SchedulerService service(small_config());
+  RepairEngine engine(service);
+  service.submit_reservation(0.0, {1000.0, 2000.0, 8});
+  // 3600s of work cannot fit before the external, so it lands at t=2000.
+  service.submit({0, 0.0, one_task_dag(3600.0, 1.0), std::nullopt});
+  service.run_until(10.0);
+  ASSERT_DOUBLE_EQ(service.live_jobs().at(0).tasks[0].r.start, 2000.0);
+
+  Disruption d;
+  d.id = 0;
+  d.type = DisruptionType::kReservationExtend;
+  d.time = 500.0;
+  d.amount = 1500.0;
+  d.target = 0;
+  engine.schedule(d);
+  service.run_until(500.0);
+
+  EXPECT_DOUBLE_EQ(service.external_reservations().at(0).r.end, 3500.0);
+  EXPECT_DOUBLE_EQ(service.live_jobs().at(0).tasks[0].r.start, 3500.0);
+  EXPECT_EQ(engine.counters().extends, 1u);
+  EXPECT_EQ(engine.counters().tasks_replaced, 1u);
+  expect_calendar_matches_committed(service);
+
+  service.run_all();
+  EXPECT_EQ(service.metrics().completed(), 1);
+  EXPECT_TRUE(service.external_reservations().empty());
+  expect_calendar_matches_committed(service);
+}
+
+TEST(RepairEngine, ShiftSlidesNotStartedReservation) {
+  SchedulerService service(small_config());
+  RepairEngine engine(service);
+  service.submit_reservation(0.0, {1000.0, 2000.0, 4});
+  Disruption d;
+  d.id = 0;
+  d.type = DisruptionType::kReservationShift;
+  d.time = 500.0;
+  d.amount = 800.0;
+  d.target = 0;
+  engine.schedule(d);
+  service.run_until(600.0);
+  EXPECT_DOUBLE_EQ(service.external_reservations().at(0).r.start, 1800.0);
+  EXPECT_DOUBLE_EQ(service.external_reservations().at(0).r.end, 2800.0);
+  EXPECT_EQ(engine.counters().shifts, 1u);
+
+  service.run_all();
+  EXPECT_TRUE(service.external_reservations().empty());
+  EXPECT_EQ(service.stale_events(), 2u);  // superseded start + end events
+  const auto& timeline = service.metrics().usage_timeline();
+  ASSERT_FALSE(timeline.empty());
+  EXPECT_EQ(timeline.back().used, 0);
+  expect_calendar_matches_committed(service);
+}
+
+TEST(RepairEngine, ReservationDisruptionsWithoutVictimsAreNoOps) {
+  SchedulerService service(small_config());
+  RepairEngine engine(service);
+  for (int i = 0; i < 3; ++i) {
+    Disruption d;
+    d.id = i;
+    d.type = i == 0 ? DisruptionType::kReservationCancel
+             : i == 1 ? DisruptionType::kReservationExtend
+                      : DisruptionType::kReservationShift;
+    d.time = 10.0 * (i + 1);
+    d.amount = 100.0;
+    engine.schedule(d);
+  }
+  service.run_all();
+  EXPECT_EQ(engine.counters().no_op_disruptions, 3u);
+}
+
+// --- Repair: deadlines ------------------------------------------------------
+
+TEST(RepairEngine, UnmeetableDeadlineDegradesToBestEffortByDefault) {
+  SchedulerService service(small_config());
+  RepairEngine engine(service);
+  service.submit({0, 0.0, one_task_dag(3600.0, 1.0), 5000.0});
+  service.run_until(10.0);
+  ASSERT_EQ(service.live_jobs().count(0), 1u);
+
+  Disruption d;  // full platform down for 10000s: 5000 deadline is dead
+  d.id = 0;
+  d.type = DisruptionType::kProcOutage;
+  d.time = 100.0;
+  d.procs = 8;
+  d.duration = 10000.0;
+  engine.schedule(d);
+  service.run_all();
+
+  EXPECT_EQ(engine.counters().fallback_reschedules, 1u);
+  EXPECT_EQ(engine.counters().deadline_degraded, 1u);
+  ASSERT_EQ(engine.dispositions().size(), 1u);
+  EXPECT_EQ(engine.dispositions()[0].kind,
+            JobDisposition::Kind::kDeadlineDegraded);
+  EXPECT_EQ(engine.counters().jobs_abandoned, 0u);
+  EXPECT_EQ(service.metrics().completed(), 1);  // finished late, best effort
+  expect_calendar_matches_committed(service);
+}
+
+TEST(RepairEngine, UnmeetableDeadlineAbandonsUnderStrictPolicy) {
+  RepairPolicy policy;
+  policy.degrade_deadline_to_best_effort = false;
+  SchedulerService service(small_config());
+  RepairEngine engine(service, policy);
+  service.submit({0, 0.0, one_task_dag(3600.0, 1.0), 5000.0});
+  Disruption d;
+  d.id = 0;
+  d.type = DisruptionType::kProcOutage;
+  d.time = 100.0;
+  d.procs = 8;
+  d.duration = 10000.0;
+  engine.schedule(d);
+  service.run_all();
+
+  EXPECT_EQ(engine.counters().jobs_abandoned, 1u);
+  EXPECT_EQ(engine.counters().deadline_degraded, 0u);
+  EXPECT_EQ(service.metrics().completed(), 0);
+  EXPECT_TRUE(service.live_jobs().empty());
+  expect_calendar_matches_committed(service);
+}
+
+// --- Checkpoint -------------------------------------------------------------
+
+dag::Dag seeded_dag(int job) {
+  dag::DagSpec spec;
+  spec.num_tasks = 3 + (job * 5) % 8;
+  spec.alpha_max = 0.3;
+  spec.width = 0.4;
+  spec.density = 0.5;
+  spec.regularity = 0.5;
+  util::Rng rng(util::derive_seed(0xFA17, {static_cast<std::uint64_t>(job)}));
+  return dag::generate(spec, rng);
+}
+
+struct ScenarioRun {
+  ServiceConfig config = [] {
+    ServiceConfig c;
+    c.capacity = 16;
+    c.compact_calendar = false;
+    c.counter_offer_limit = 4.0;
+    return c;
+  }();
+  SchedulerService service{config};
+  RepairEngine engine{service};
+  std::ostringstream trace_out;
+  online::TraceWriter trace{trace_out};
+
+  ScenarioRun() {
+    service.set_trace(&trace);
+    service.submit_reservation(0.0, {800.0, 3000.0, 6});
+    service.submit_reservation(0.0, {5000.0, 9000.0, 10});
+    for (int job = 0; job < 10; ++job) {
+      double submit = 400.0 * job;
+      std::optional<double> deadline;
+      if (job % 3 == 1) deadline = submit + 20000.0;
+      service.submit({job, submit, seeded_dag(job), deadline});
+    }
+    FaultInjectorConfig fc;
+    fc.seed = 5;
+    fc.outage_mean = 4000.0;
+    fc.outage_procs_max = 6;
+    fc.cancel_mean = 9000.0;
+    fc.extend_mean = 7000.0;
+    fc.shift_mean = 8000.0;
+    fc.task_failure_mean = 3000.0;
+    engine.schedule_all(FaultInjector(fc).generate(50.0, 15000.0));
+  }
+};
+
+TEST(Checkpoint, KillAndResumeReplaysByteIdentically) {
+  // Reference: the uninterrupted run.
+  ScenarioRun full;
+  full.service.run_all();
+  const std::string full_trace = full.trace_out.str();
+  ASSERT_FALSE(full_trace.empty());
+  ASSERT_GT(full.engine.counters().disruptions, 0u);
+
+  // Interrupted run: advance to mid-stream, checkpoint, throw everything
+  // away, restore into fresh objects, resume.
+  ScenarioRun first;
+  first.service.run_until(4000.0);
+  const std::string prefix = first.trace_out.str();
+  std::stringstream image;
+  ft::save_checkpoint(image, first.service, &first.engine);
+
+  SchedulerService resumed(first.config);
+  RepairEngine resumed_engine(resumed);
+  std::ostringstream suffix_out;
+  online::TraceWriter suffix_trace(suffix_out);
+  resumed.set_trace(&suffix_trace);
+  ft::load_checkpoint(image, resumed, &resumed_engine);
+  EXPECT_DOUBLE_EQ(resumed.now(), 4000.0);
+  resumed.run_all();
+
+  EXPECT_EQ(prefix + suffix_out.str(), full_trace);
+  EXPECT_EQ(resumed_engine.counters(), full.engine.counters());
+  EXPECT_EQ(resumed_engine.dispositions(), full.engine.dispositions());
+  EXPECT_EQ(resumed.profile().canonical_steps(),
+            full.service.profile().canonical_steps());
+  EXPECT_EQ(resumed.metrics().completed(), full.service.metrics().completed());
+  EXPECT_EQ(resumed.metrics().total_cpu_hours(),
+            full.service.metrics().total_cpu_hours());
+  EXPECT_EQ(resumed.stale_events(), full.service.stale_events());
+  ASSERT_EQ(resumed.outcomes().size(), full.service.outcomes().size());
+  for (std::size_t i = 0; i < resumed.outcomes().size(); ++i) {
+    EXPECT_EQ(resumed.outcomes()[i].job_id,
+              full.service.outcomes()[i].job_id);
+    EXPECT_EQ(resumed.outcomes()[i].decision,
+              full.service.outcomes()[i].decision);
+  }
+}
+
+TEST(Checkpoint, RejectsCorruptImagesAndConfigMismatch) {
+  ScenarioRun run;
+  run.service.run_until(2000.0);
+  std::stringstream image;
+  ft::save_checkpoint(image, run.service, &run.engine);
+  const std::string bytes = image.str();
+
+  {  // bad magic
+    std::stringstream bad(std::string("XXXX") + bytes.substr(4));
+    SchedulerService s(run.config);
+    RepairEngine e(s);
+    EXPECT_THROW(ft::load_checkpoint(bad, s, &e), resched::Error);
+  }
+  {  // truncated
+    std::stringstream bad(bytes.substr(0, bytes.size() / 2));
+    SchedulerService s(run.config);
+    RepairEngine e(s);
+    EXPECT_THROW(ft::load_checkpoint(bad, s, &e), resched::Error);
+  }
+  {  // config mismatch (different capacity)
+    ServiceConfig other = run.config;
+    other.capacity = 32;
+    std::stringstream in(bytes);
+    SchedulerService s(other);
+    RepairEngine e(s);
+    EXPECT_THROW(ft::load_checkpoint(in, s, &e), resched::Error);
+  }
+  {  // engine state present but no engine supplied
+    std::stringstream in(bytes);
+    SchedulerService s(run.config);
+    EXPECT_THROW(ft::load_checkpoint(in, s, nullptr), resched::Error);
+  }
+}
+
+TEST(Checkpoint, RoundTripsAnIdleEngineWithoutFaultTolerance) {
+  ServiceConfig config;
+  config.capacity = 8;
+  config.compact_calendar = false;
+  SchedulerService service(config);
+  service.submit({0, 100.0, one_task_dag(500.0), std::nullopt});
+  service.run_until(50.0);
+  std::stringstream image;
+  ft::save_checkpoint(image, service, nullptr);
+
+  SchedulerService resumed(config);
+  ft::load_checkpoint(image, resumed, nullptr);
+  resumed.run_all();
+  EXPECT_EQ(resumed.metrics().completed(), 1);
+}
+
+}  // namespace

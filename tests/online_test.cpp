@@ -12,6 +12,7 @@
 #include "src/online/replay.hpp"
 #include "src/online/service.hpp"
 #include "src/online/trace.hpp"
+#include "src/resv/linear_profile.hpp"
 #include "src/util/error.hpp"
 #include "src/util/rng.hpp"
 #include "src/workload/swf.hpp"
@@ -113,6 +114,30 @@ TEST(IncrementalProfile, CommitThenRollbackRestoresCanonicalSteps) {
   }
 }
 
+TEST(IncrementalProfile, CommitOfMalformedGroupLeavesProfileUntouched) {
+  // Regression: commit() used to add() group members one by one and threw
+  // mid-loop on the first malformed reservation, leaking every member
+  // already added (no token reached the caller to roll them back). The
+  // whole group is now validated up front — strong guarantee.
+  util::Rng rng(9);
+  const int capacity = 16;
+  AvailabilityProfile p(capacity, random_reservations(8, capacity, rng));
+  const auto before = p.canonical_steps();
+  const int count_before = p.reservation_count();
+
+  resv::ReservationList bad_tail = random_reservations(4, capacity, rng);
+  bad_tail.push_back({500.0, 500.0, 2});  // zero duration: malformed
+  EXPECT_THROW(p.commit(bad_tail), resched::Error);
+  EXPECT_EQ(p.reservation_count(), count_before);
+  EXPECT_EQ(p.canonical_steps(), before);
+
+  resv::ReservationList bad_procs = random_reservations(4, capacity, rng);
+  bad_procs.push_back({100.0, 200.0, -3});  // negative procs: malformed
+  EXPECT_THROW(p.commit(bad_procs), resched::Error);
+  EXPECT_EQ(p.reservation_count(), count_before);
+  EXPECT_EQ(p.canonical_steps(), before);
+}
+
 TEST(IncrementalProfile, ReleaseMatchesRebuildWithoutTheReservation) {
   util::Rng rng(77);
   const int capacity = 16;
@@ -132,6 +157,69 @@ TEST(IncrementalProfile, ReleaseMatchesRebuildWithoutTheReservation) {
     EXPECT_EQ(p.canonical_steps(),
               AvailabilityProfile(capacity, remaining).canonical_steps());
     EXPECT_EQ(p.reservation_count(), 5);
+  }
+}
+
+TEST(IncrementalProfile, InterleavedCommitReleaseCompactMatchesOracle) {
+  // The repair engine's hot path: reservations enter the calendar as
+  // admission-time commit groups, then get torn apart one reservation at a
+  // time (evictions), re-added elsewhere (re-placements), and interleaved
+  // with compaction. Differential check against the linear oracle after
+  // every mutation, plus fit probes.
+  util::Rng rng(0xF7);
+  const int capacity = 24;
+  resv::AvailabilityProfile p(capacity);
+  resv::LinearProfile oracle(capacity);
+  std::vector<resv::Reservation> live;
+  int adds_minus_releases = 0;  // reservation_count() ignores compaction
+
+  for (int round = 0; round < 400; ++round) {
+    const double dice = rng.uniform(0.0, 1.0);
+    if (dice < 0.35 || live.empty()) {
+      // Commit a group; afterwards its members are ordinary individual
+      // reservations (the service keeps the token only within one
+      // admission).
+      resv::ReservationList group =
+          random_reservations(static_cast<int>(rng.uniform_int(1, 5)),
+                              capacity, rng);
+      p.commit(group);
+      adds_minus_releases += static_cast<int>(group.size());
+      for (const resv::Reservation& r : group) {
+        oracle.add(r);
+        live.push_back(r);
+      }
+    } else if (dice < 0.70) {
+      // Evict: release one member of some long-gone group.
+      std::size_t pick = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(live.size()) - 1));
+      p.release(live[pick]);
+      oracle.release(live[pick]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      --adds_minus_releases;
+    } else if (dice < 0.90) {
+      // Re-place: add a single reservation.
+      resv::Reservation r = random_reservations(1, capacity, rng)[0];
+      p.add(r);
+      oracle.add(r);
+      live.push_back(r);
+      ++adds_minus_releases;
+    } else {
+      const double horizon = rng.uniform(0.0, 3000.0);
+      p.compact(horizon);
+      oracle.compact(horizon);
+      std::erase_if(live, [&](const resv::Reservation& r) {
+        return r.start < horizon;
+      });
+    }
+    ASSERT_EQ(p.canonical_steps(), oracle.canonical_steps())
+        << "diverged at round " << round;
+    ASSERT_EQ(p.reservation_count(), adds_minus_releases);
+    const int procs = static_cast<int>(rng.uniform_int(1, capacity));
+    const double dur = rng.uniform(1.0, 1000.0);
+    const double from = rng.uniform(0.0, 6000.0);
+    ASSERT_EQ(p.earliest_fit(procs, dur, from),
+              oracle.earliest_fit(procs, dur, from))
+        << "fit diverged at round " << round;
   }
 }
 
@@ -247,6 +335,39 @@ TEST(AdmissionControl, CounterOfferBeyondLimitIsRolledBackAndRejected) {
   // ...but its tentative commit was rolled back: calendar unchanged.
   EXPECT_EQ(service.profile().canonical_steps(), before);
   EXPECT_EQ(service.metrics().rejected(), 1);
+}
+
+TEST(AdmissionControl, AuditedRollbackReleasesEveryPartialAllocation) {
+  // Regression for the rollback path of a rejected mid-DAG admission: every
+  // one of the multi-task tentative commit's reservations must be released.
+  // audit_rollback makes the service itself assert the calendar's canonical
+  // steps are byte-identical before and after; the test additionally checks
+  // the reservation count (a leak that happens to cancel out in the step
+  // function would still trip this).
+  ServiceConfig config = small_config();
+  config.admission = AdmissionPolicy::kCounterOffer;
+  config.counter_offer_limit = 2.0;
+  config.audit_rollback = true;
+  SchedulerService service(config);
+  service.submit_reservation(0.0, {0.0, 10000.0, 8});
+  service.run_until(0.0);
+  const auto before = service.profile().canonical_steps();
+  const int count_before = service.profile().reservation_count();
+
+  // A wide 6-task DAG: the tentative commit holds 6 reservations, all of
+  // which must come back out when the counter-offer is declined.
+  service.submit({7, 1.0, chain_dag(6, 100.0), 500.0});
+  service.run_all();
+  ASSERT_EQ(service.outcomes().size(), 1u);
+  EXPECT_EQ(service.outcomes()[0].decision, Decision::kRejected);
+  EXPECT_EQ(service.profile().reservation_count(), count_before);
+  EXPECT_EQ(service.profile().canonical_steps(), before);
+  // The rejected job left no live state behind: a later submission with
+  // the same id is legal (nothing was committed for it).
+  service.submit({7, service.now() + 1.0, chain_dag(2, 50.0), std::nullopt});
+  service.run_all();
+  EXPECT_EQ(service.metrics().accepted(), 1);
+  EXPECT_EQ(service.metrics().completed(), 1);
 }
 
 TEST(Service, BestEffortJobsAlwaysScheduled) {

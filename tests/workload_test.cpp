@@ -63,14 +63,118 @@ TEST(Swf, OverrideWins) {
   EXPECT_EQ(log.cpus, 64);
 }
 
-TEST(Swf, MalformedFieldThrows) {
+TEST(Swf, StrictMalformedFieldThrows) {
   std::istringstream in("1 banana 0 60 24 -1 -1 24 -1 -1 1 -1 -1 -1 -1 -1\n");
-  EXPECT_THROW(read_swf(in, "test"), resched::Error);
+  SwfReadOptions opts;
+  opts.strict = true;
+  EXPECT_THROW(read_swf(in, "test", opts), resched::Error);
 }
 
-TEST(Swf, TooFewFieldsThrows) {
+TEST(Swf, StrictTooFewFieldsThrows) {
   std::istringstream in("1 2 3\n");
-  EXPECT_THROW(read_swf(in, "test"), resched::Error);
+  SwfReadOptions opts;
+  opts.strict = true;
+  EXPECT_THROW(read_swf(in, "test", opts), resched::Error);
+}
+
+TEST(Swf, NonNumericTokenSkipsWithDiagnostic) {
+  std::istringstream in(
+      "1 banana 0 60 24 -1 -1 24 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+      "2 100 0 60 8 -1 -1 8 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n");
+  SwfDiagnostics diag;
+  SwfReadOptions opts;
+  opts.diagnostics = &diag;
+  Log log = read_swf(in, "test", opts);
+  ASSERT_EQ(log.jobs.size(), 1u);
+  EXPECT_DOUBLE_EQ(log.jobs[0].submit, 100.0);
+  EXPECT_EQ(diag.malformed_lines, 1);
+  ASSERT_EQ(diag.messages.size(), 1u);
+  EXPECT_NE(diag.messages[0].find("banana"), std::string::npos);
+  EXPECT_NE(diag.messages[0].find("test:1"), std::string::npos);
+}
+
+TEST(Swf, TruncatedLineSkipsWithDiagnostic) {
+  std::istringstream in(
+      "1 2 3\n"
+      "2 100 0 60 8 -1 -1 8 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n");
+  SwfDiagnostics diag;
+  SwfReadOptions opts;
+  opts.diagnostics = &diag;
+  Log log = read_swf(in, "test", opts);
+  ASSERT_EQ(log.jobs.size(), 1u);
+  EXPECT_EQ(diag.malformed_lines, 1);
+  ASSERT_EQ(diag.messages.size(), 1u);
+  EXPECT_NE(diag.messages[0].find("truncated"), std::string::npos);
+}
+
+TEST(Swf, NegativeRuntimeIsMalformedButUnknownSentinelIsNot) {
+  // -5 runtime is garbage (malformed); -1 is SWF's "unknown" and only makes
+  // the job invalid (skipped by skip_invalid, not an error).
+  std::istringstream in(
+      "1 100 0 -5 8 -1 -1 8 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+      "2 100 0 -1 8 -1 -1 8 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+      "3 100 0 60 8 -1 -1 8 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n");
+  SwfDiagnostics diag;
+  SwfReadOptions opts;
+  opts.diagnostics = &diag;
+  Log log = read_swf(in, "test", opts);
+  ASSERT_EQ(log.jobs.size(), 1u);
+  EXPECT_EQ(diag.malformed_lines, 1);
+  EXPECT_EQ(diag.invalid_jobs, 1);
+}
+
+TEST(Swf, NonFiniteValuesSkipWithDiagnostic) {
+  std::istringstream in(
+      "1 inf 0 60 8 -1 -1 8 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+      "2 100 nan 60 8 -1 -1 8 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+      "3 100 0 60 8 -1 -1 8 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n");
+  SwfDiagnostics diag;
+  SwfReadOptions opts;
+  opts.diagnostics = &diag;
+  Log log = read_swf(in, "test", opts);
+  ASSERT_EQ(log.jobs.size(), 1u);
+  EXPECT_EQ(diag.malformed_lines, 2);
+}
+
+TEST(Swf, TrailingGarbageInFieldSkipsWithDiagnostic) {
+  std::istringstream in(
+      "1 100x 0 60 8 -1 -1 8 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+      "2 100 0 60 8 -1 -1 8 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n");
+  SwfDiagnostics diag;
+  SwfReadOptions opts;
+  opts.diagnostics = &diag;
+  Log log = read_swf(in, "test", opts);
+  ASSERT_EQ(log.jobs.size(), 1u);
+  EXPECT_EQ(diag.malformed_lines, 1);
+}
+
+TEST(Swf, OutOfRangeProcsSkipsWithDiagnostic) {
+  std::istringstream in(
+      "1 100 0 60 9999999999999 -1 -1 8 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+      "2 100 0 60 8 -1 -1 8 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n");
+  SwfDiagnostics diag;
+  SwfReadOptions opts;
+  opts.diagnostics = &diag;
+  Log log = read_swf(in, "test", opts);
+  ASSERT_EQ(log.jobs.size(), 1u);
+  EXPECT_EQ(diag.malformed_lines, 1);
+  ASSERT_EQ(diag.messages.size(), 1u);
+  EXPECT_NE(diag.messages[0].find("out of range"), std::string::npos);
+}
+
+TEST(Swf, DiagnosticMessagesAreCappedButCountingContinues) {
+  std::ostringstream swf;
+  for (int i = 0; i < SwfDiagnostics::kMaxMessages + 10; ++i)
+    swf << i << " bad 0 60 8 -1 -1 8 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n";
+  std::istringstream in(swf.str());
+  SwfDiagnostics diag;
+  SwfReadOptions opts;
+  opts.diagnostics = &diag;
+  Log log = read_swf(in, "test", opts);
+  EXPECT_TRUE(log.jobs.empty());
+  EXPECT_EQ(diag.malformed_lines, SwfDiagnostics::kMaxMessages + 10);
+  EXPECT_EQ(static_cast<int>(diag.messages.size()),
+            SwfDiagnostics::kMaxMessages);
 }
 
 TEST(Swf, RoundTripPreservesJobs) {
