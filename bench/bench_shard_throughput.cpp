@@ -1,0 +1,79 @@
+// Sharded service throughput (google-benchmark): sustained events/sec of
+// replaying one fixed workload stream through shard::ShardedService at
+// shard counts 1 / 2 / 4 / 8, each shard advanced by its own worker
+// thread. The platform is held constant (kCpus processors total), so the
+// shard count only changes how the calendar and event queue are
+// partitioned — the scaling comes from smaller per-shard calendars
+// (cheaper RESSCHED allocation sweeps and fit queries) plus parallel
+// lockstep advancement.
+//
+// The checked-in baseline bench/BENCH_shard_throughput.json is produced
+// with:
+//   ./build/bench/bench_shard_throughput --benchmark_format=json
+//       --benchmark_min_time=0.3 > bench/BENCH_shard_throughput.json
+// The CI bench-smoke job fails on a >2x per-benchmark regression AND
+// enforces the DESIGN.md §9 acceptance bar within the current run: 4
+// shards must sustain >= 2x the events/sec of 1 shard
+// (scripts/check_bench_regression.py speedup pairs).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/online/replay.hpp"
+#include "src/shard/sharded_service.hpp"
+#include "src/util/rng.hpp"
+#include "src/workload/synth.hpp"
+
+namespace {
+
+using namespace resched;
+
+constexpr int kCpus = 256;
+constexpr int kJobs = 400;
+
+/// Deterministic stream shared by every shard count: kJobs DAG
+/// submissions from a dense synthetic SDSC Blue slice.
+const std::vector<online::JobSubmission>& stream() {
+  static const std::vector<online::JobSubmission> s = [] {
+    workload::SyntheticLogSpec log_spec = workload::sdsc_blue_spec();
+    log_spec.cpus = kCpus;
+    log_spec.duration_days = 4.0;
+    util::Rng rng(7);
+    workload::Log log = workload::generate_log(log_spec, rng);
+
+    online::ReplaySpec spec;
+    spec.app.num_tasks = 10;
+    spec.app.min_seq_time = 60.0;
+    spec.app.max_seq_time = 3600.0;
+    spec.deadline_fraction = 0.3;
+    spec.max_jobs = kJobs;
+    return online::submissions_from_log(log, spec);
+  }();
+  return s;
+}
+
+void BM_ShardReplay(benchmark::State& state) {
+  int shards = static_cast<int>(state.range(0));
+  const auto& jobs = stream();
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    shard::ShardedConfig config;
+    config.shards = shards;
+    config.threads = shards;
+    config.service.capacity = kCpus / shards;
+    shard::ShardedService service(config);
+    for (const online::JobSubmission& sub : jobs) service.submit(sub);
+    service.run_all();
+    events = service.events_processed();
+    benchmark::DoNotOptimize(events);
+  }
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsIterationInvariantRate);
+}
+
+BENCHMARK(BM_ShardReplay)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -10,18 +10,30 @@
 //     --reject            reject infeasible deadlines (default: counter-offer)
 //     --trace PATH        write the JSONL event trace for replay/debugging
 //     --seed N            DAG / deadline generation seed (42)
+//     --shards N          run the sharded service: the platform is split
+//                         into N equal partitions with load-aware routing
+//                         and cross-shard spillover (DESIGN.md §9); the
+//                         trace is the deterministic (time, shard, seq)
+//                         merge of the per-shard traces
+//     --threads N         worker threads for sharded replay (default 1;
+//                         any value yields byte-identical output)
 //
-// Example:
+// Options also accept the --flag=value form.
+//
+// Examples:
 //   ./build/examples/online_replay --jobs 100 --trace /tmp/online.jsonl
+//   ./build/examples/online_replay --shards=4 --threads=4 --jobs 500
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "src/online/replay.hpp"
 #include "src/online/service.hpp"
 #include "src/online/trace.hpp"
+#include "src/shard/sharded_service.hpp"
 #include "src/util/rng.hpp"
 #include "src/workload/swf.hpp"
 #include "src/workload/synth.hpp"
@@ -42,8 +54,27 @@ resched::workload::Log default_log() {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr, "usage: %s [--swf PATH] [--jobs N] [--tasks N] "
                        "[--deadline-frac F] [--slack S] [--reject] "
-                       "[--trace PATH] [--seed N]\n", argv0);
+                       "[--trace PATH] [--seed N] [--shards N] "
+                       "[--threads N]\n", argv0);
   std::exit(2);
+}
+
+/// Expands "--flag=value" arguments into "--flag" "value" pairs so both
+/// spellings parse identically.
+std::vector<std::string> expand_args(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::size_t eq = arg.find('=');
+    if (arg.size() > 2 && arg.compare(0, 2, "--") == 0 &&
+        eq != std::string::npos) {
+      args.push_back(arg.substr(0, eq));
+      args.push_back(arg.substr(eq + 1));
+    } else {
+      args.push_back(std::move(arg));
+    }
+  }
+  return args;
 }
 
 }  // namespace
@@ -60,31 +91,101 @@ int run(int argc, char** argv) {
   spec.deadline_slack = 3.0;
   spec.max_jobs = 200;
   bool reject_infeasible = false;
+  int shards = 0;  // 0 = classic single-engine mode
+  int threads = 1;
 
-  for (int i = 1; i < argc; ++i) {
+  std::vector<std::string> args = expand_args(argc, argv);
+  for (std::size_t i = 0; i < args.size(); ++i) {
     auto value = [&]() -> const char* {
-      if (i + 1 >= argc) usage(argv[0]);
-      return argv[++i];
+      if (i + 1 >= args.size()) usage(argv[0]);
+      return args[++i].c_str();
     };
-    if (!std::strcmp(argv[i], "--swf")) swf_path = value();
-    else if (!std::strcmp(argv[i], "--jobs")) spec.max_jobs = std::atoi(value());
-    else if (!std::strcmp(argv[i], "--tasks"))
-      spec.app.num_tasks = std::atoi(value());
-    else if (!std::strcmp(argv[i], "--deadline-frac"))
+    const std::string& arg = args[i];
+    if (arg == "--swf") swf_path = value();
+    else if (arg == "--jobs") spec.max_jobs = std::atoi(value());
+    else if (arg == "--tasks") spec.app.num_tasks = std::atoi(value());
+    else if (arg == "--deadline-frac")
       spec.deadline_fraction = std::atof(value());
-    else if (!std::strcmp(argv[i], "--slack"))
-      spec.deadline_slack = std::atof(value());
-    else if (!std::strcmp(argv[i], "--reject")) reject_infeasible = true;
-    else if (!std::strcmp(argv[i], "--trace")) trace_path = value();
-    else if (!std::strcmp(argv[i], "--seed"))
+    else if (arg == "--slack") spec.deadline_slack = std::atof(value());
+    else if (arg == "--reject") reject_infeasible = true;
+    else if (arg == "--trace") trace_path = value();
+    else if (arg == "--seed")
       spec.seed = static_cast<std::uint64_t>(std::atoll(value()));
+    else if (arg == "--shards") shards = std::atoi(value());
+    else if (arg == "--threads") threads = std::atoi(value());
     else usage(argv[0]);
   }
+  if (shards < 0 || threads < 1) usage(argv[0]);
 
   workload::Log log =
       swf_path.empty() ? default_log() : workload::read_swf_file(swf_path);
   std::printf("Workload: %s — %zu jobs on %d processors\n", log.name.c_str(),
               log.jobs.size(), log.cpus);
+
+  if (shards > 0) {
+    if (log.cpus % shards != 0) {
+      std::fprintf(stderr, "--shards %d must divide the platform size %d\n",
+                   shards, log.cpus);
+      return 2;
+    }
+    shard::ShardedConfig config;
+    config.shards = shards;
+    config.threads = threads;
+    config.service.capacity = log.cpus / shards;
+    config.service.admission = reject_infeasible
+                                   ? online::AdmissionPolicy::kRejectInfeasible
+                                   : online::AdmissionPolicy::kCounterOffer;
+    shard::ShardedService service(config);
+
+    // Per-shard traces buffer in memory; the file gets their deterministic
+    // (time, shard, seq) merge.
+    std::vector<std::ostringstream> buffers(
+        static_cast<std::size_t>(shards));
+    std::vector<online::TraceWriter> writers;
+    writers.reserve(static_cast<std::size_t>(shards));
+    if (!trace_path.empty()) {
+      for (int s = 0; s < shards; ++s) {
+        writers.emplace_back(buffers[static_cast<std::size_t>(s)], s);
+        service.engine(s).set_trace(&writers.back());
+      }
+    }
+
+    auto stream = online::submissions_from_log(log, spec);
+    std::printf("Replaying %zu DAG submissions over %d shards x %d procs "
+                "(%d threads, policy: %s)...\n",
+                stream.size(), shards, config.service.capacity, threads,
+                reject_infeasible ? "reject" : "counter-offer");
+    for (auto& sub : stream) service.submit(std::move(sub));
+    service.run_all();
+
+    std::printf("\n%s", service.summary_table().c_str());
+    shard::ShardedService::Aggregates agg = service.aggregates();
+    std::printf("\ntotal: %d submitted, %d accepted, %d counter-offered, "
+                "%d rejected, %d spillovers, %llu events\n",
+                agg.submitted, agg.accepted, agg.counter_offered,
+                agg.rejected, agg.spillovers,
+                static_cast<unsigned long long>(service.events_processed()));
+
+    if (!trace_path.empty()) {
+      std::ofstream trace_file(trace_path);
+      if (!trace_file) {
+        std::fprintf(stderr, "cannot open trace file: %s\n",
+                     trace_path.c_str());
+        return 1;
+      }
+      std::vector<std::vector<online::TraceRecord>> per_shard;
+      per_shard.reserve(static_cast<std::size_t>(shards));
+      for (int s = 0; s < shards; ++s) {
+        std::istringstream in(buffers[static_cast<std::size_t>(s)].str());
+        per_shard.push_back(online::read_trace(in));
+      }
+      for (const online::TraceRecord& r :
+           online::merge_traces(std::move(per_shard)))
+        trace_file << online::to_json_line(r) << '\n';
+      std::printf("merged event trace written to %s\n", trace_path.c_str());
+    }
+    return 0;
+  }
 
   online::ServiceConfig config;
   config.capacity = log.cpus;

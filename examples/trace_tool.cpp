@@ -23,15 +23,31 @@
 //     --trace PATH        Chrome-trace output (default trace.json)
 //     --metrics PATH      metrics JSONL output (default metrics.jsonl)
 //     --seed N            DAG / deadline generation seed (default 42)
+//     --shards N          replay through the sharded service (DESIGN.md §9)
+//                         instead of one engine; prints the per-shard
+//                         roll-up table and exports shard.<id>.* metrics
+//     --threads N         worker threads for the sharded replay (default 1)
+//   trace_tool merge_traces <out.jsonl> <in.jsonl>...
+//                                   merge per-shard engine traces (JSONL,
+//                                   src/online/trace.hpp schema) into one
+//                                   stream under the deterministic
+//                                   (time, shard, seq) total order; inputs
+//                                   without shard tags inherit their
+//                                   argument position as shard id. "-"
+//                                   writes the merge to stdout.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/obs/obs.hpp"
 #include "src/online/replay.hpp"
 #include "src/online/service.hpp"
+#include "src/online/trace.hpp"
+#include "src/shard/sharded_service.hpp"
 #include "src/util/error.hpp"
 #include "src/util/rng.hpp"
 #include "src/workload/stats.hpp"
@@ -123,11 +139,41 @@ bool is_platform(const std::string& name) {
          name == "g5k";
 }
 
+int cmd_merge_traces(int argc, char** argv) {
+  if (argc < 4)
+    throw resched::Error(
+        "usage: trace_tool merge_traces <out.jsonl|-> <in.jsonl>...");
+  std::vector<std::vector<online::TraceRecord>> shards;
+  std::size_t total = 0;
+  for (int i = 3; i < argc; ++i) {
+    std::ifstream in(argv[i]);
+    if (!in) throw resched::Error(std::string("cannot open ") + argv[i]);
+    shards.push_back(online::read_trace(in));
+    total += shards.back().size();
+  }
+  std::vector<online::TraceRecord> merged =
+      online::merge_traces(std::move(shards));
+  std::ofstream file;
+  bool to_stdout = !std::strcmp(argv[2], "-");
+  if (!to_stdout) {
+    file.open(argv[2]);
+    if (!file) throw resched::Error(std::string("cannot open ") + argv[2]);
+  }
+  std::ostream& out = to_stdout ? std::cout : file;
+  for (const online::TraceRecord& r : merged)
+    out << online::to_json_line(r) << '\n';
+  if (!to_stdout)
+    std::printf("merged %zu records from %d traces into %s\n", total,
+                argc - 3, argv[2]);
+  return 0;
+}
+
 int cmd_replay(int argc, char** argv) {
   if (argc < 3)
     throw resched::Error(
         "usage: trace_tool replay <platform|log.swf> [--jobs N] [--tasks N] "
-        "[--deadline-frac F] [--trace PATH] [--metrics PATH] [--seed N]");
+        "[--deadline-frac F] [--trace PATH] [--metrics PATH] [--seed N] "
+        "[--shards N] [--threads N]");
   std::string source = argv[2];
   std::string trace_path = "trace.json";
   std::string metrics_path = "metrics.jsonl";
@@ -139,6 +185,8 @@ int cmd_replay(int argc, char** argv) {
   spec.deadline_slack = 3.0;
   spec.max_jobs = 100;
   spec.seed = 42;
+  int shards = 0;  // 0 = single engine
+  int threads = 1;
 
   for (int i = 3; i < argc; ++i) {
     auto value = [&]() -> const char* {
@@ -158,6 +206,10 @@ int cmd_replay(int argc, char** argv) {
       metrics_path = value();
     else if (!std::strcmp(argv[i], "--seed"))
       spec.seed = static_cast<std::uint64_t>(std::atoll(value()));
+    else if (!std::strcmp(argv[i], "--shards"))
+      shards = std::atoi(value());
+    else if (!std::strcmp(argv[i], "--threads"))
+      threads = std::atoi(value());
     else
       throw resched::Error(std::string("unknown option ") + argv[i]);
   }
@@ -172,20 +224,43 @@ int cmd_replay(int argc, char** argv) {
   std::printf("workload: %s — %zu jobs on %d processors\n", log.name.c_str(),
               log.jobs.size(), log.cpus);
 
-  online::ServiceConfig config;
-  config.capacity = log.cpus;
-  online::SchedulerService service(config);
+  if (shards < 0 || threads < 1 ||
+      (shards > 0 && log.cpus % shards != 0))
+    throw resched::Error("--shards must be >= 1 and divide the platform "
+                         "size; --threads must be >= 1");
+
   auto stream = online::submissions_from_log(log, spec);
-  std::printf("replaying %zu DAG submissions (%d tasks each, %.0f%% with "
-              "deadlines)...\n",
-              stream.size(), spec.app.num_tasks,
-              100.0 * spec.deadline_fraction);
+
+  online::ServiceConfig config;
+  config.capacity = shards > 0 ? log.cpus / shards : log.cpus;
+  std::optional<online::SchedulerService> solo;
+  std::optional<shard::ShardedService> sharded;
+  if (shards > 0) {
+    shard::ShardedConfig shard_config;
+    shard_config.shards = shards;
+    shard_config.threads = threads;
+    shard_config.service = config;
+    sharded.emplace(shard_config);
+    std::printf("replaying %zu DAG submissions over %d shards x %d procs "
+                "(%d threads)...\n",
+                stream.size(), shards, config.capacity, threads);
+  } else {
+    solo.emplace(config);
+    std::printf("replaying %zu DAG submissions (%d tasks each, %.0f%% with "
+                "deadlines)...\n",
+                stream.size(), spec.app.num_tasks,
+                100.0 * spec.deadline_fraction);
+  }
 
   obs::registry().reset();
   obs::set_metrics_enabled(true);
   obs::Tracer::global().start();
-  for (auto& sub : stream) service.submit(std::move(sub));
-  service.run_all();
+  for (auto& sub : stream) {
+    if (sharded) sharded->submit(std::move(sub));
+    else solo->submit(std::move(sub));
+  }
+  if (sharded) sharded->run_all();
+  else solo->run_all();
   obs::Tracer::global().stop();
   obs::set_metrics_enabled(false);
 
@@ -214,7 +289,17 @@ int cmd_replay(int argc, char** argv) {
 
   std::ostringstream table;
   snap.write_table(table);
-  service.metrics().summary_table().print(table);
+  if (sharded) {
+    // Per-shard roll-up: events, admissions, spill-ins, residual backlog.
+    table << '\n' << sharded->summary_table();
+    shard::ShardedService::Aggregates agg = sharded->aggregates();
+    table << "\ntotal: " << agg.submitted << " submitted, " << agg.accepted
+          << " accepted, " << agg.counter_offered << " counter-offered, "
+          << agg.rejected << " rejected, " << agg.spillovers
+          << " spillovers\n";
+  } else {
+    solo->metrics().summary_table().print(table);
+  }
   std::printf("%s", table.str().c_str());
   return 0;
 }
@@ -228,6 +313,8 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "gen") == 0) return cmd_gen(argc, argv);
     if (std::strcmp(argv[1], "resv") == 0) return cmd_resv(argc, argv);
     if (std::strcmp(argv[1], "replay") == 0) return cmd_replay(argc, argv);
+    if (std::strcmp(argv[1], "merge_traces") == 0)
+      return cmd_merge_traces(argc, argv);
     std::fprintf(stderr, "unknown command '%s'\n", argv[1]);
     return 2;
   } catch (const std::exception& e) {

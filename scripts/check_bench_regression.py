@@ -5,20 +5,29 @@ Usage: check_bench_regression.py BASELINE.json CURRENT.json [--factor 2.0]
 
 Fails (exit 1) when any benchmark present in both files is slower than
 `factor` times its baseline real_time, or when the current run is missing a
-baseline benchmark. When the baseline contains the indexed-vs-linear
-speedup pair, also enforces the indexed calendar's acceptance bar: indexed
-earliest_fit at 10k reservations must beat the linear oracle by at least
-5x *within the current run* (so machine speed cancels out). Baselines
-without those benchmarks (e.g. the RESSCHED smoke gate) skip the bar.
+baseline benchmark. When the baseline contains both halves of a SPEEDUP_PAIRS
+entry, also enforces that acceptance bar: the slow benchmark must be at
+least `minimum` times slower than the fast one *within the current run*
+(so machine speed cancels out). Baselines without those benchmarks (e.g.
+the RESSCHED smoke gate) skip the bars. Current pairs:
+
+  * indexed calendar — indexed earliest_fit at 10k reservations beats the
+    linear oracle by >= 5x;
+  * sharded service  — a 4-shard replay sustains >= 2x the events/sec of
+    the 1-shard replay of the same stream (DESIGN.md §9 acceptance bar).
 """
 
 import argparse
 import json
 import sys
 
-SPEEDUP_NUM = "linear_earliest_fit/10000"
-SPEEDUP_DEN = "indexed_earliest_fit/10000"
-SPEEDUP_MIN = 5.0
+# (slow benchmark, fast benchmark, required slow/fast ratio, label)
+SPEEDUP_PAIRS = [
+    ("linear_earliest_fit/10000", "indexed_earliest_fit/10000", 5.0,
+     "earliest_fit speedup over the linear oracle at 10k"),
+    ("BM_ShardReplay/1/real_time", "BM_ShardReplay/4/real_time", 2.0,
+     "4-shard replay speedup over 1 shard"),
+]
 
 
 def load(path):
@@ -56,17 +65,17 @@ def main():
                 f"{name}: {ratio:.2f}x slower than baseline"
                 f" (limit {args.factor:.2f}x)")
 
-    if SPEEDUP_NUM in baseline and SPEEDUP_DEN in baseline:
-        if SPEEDUP_NUM in current and SPEEDUP_DEN in current:
-            speedup = current[SPEEDUP_NUM] / current[SPEEDUP_DEN]
-            print(f"earliest_fit speedup over the linear oracle at 10k:"
-                  f" {speedup:.1f}x (required >= {SPEEDUP_MIN}x)")
-            if speedup < SPEEDUP_MIN:
-                failures.append(
-                    f"index speedup {speedup:.1f}x below the"
-                    f" {SPEEDUP_MIN}x bar")
-        else:
-            failures.append("speedup benchmarks missing from the current run")
+    for slow, fast, minimum, label in SPEEDUP_PAIRS:
+        if slow not in baseline or fast not in baseline:
+            continue
+        if slow not in current or fast not in current:
+            failures.append(f"{label}: benchmarks missing from the current run")
+            continue
+        speedup = current[slow] / current[fast]
+        print(f"{label}: {speedup:.1f}x (required >= {minimum}x)")
+        if speedup < minimum:
+            failures.append(
+                f"{label}: {speedup:.1f}x below the {minimum}x bar")
 
     if failures:
         print("\nbenchmark regression check FAILED:", file=sys.stderr)

@@ -25,7 +25,12 @@ struct ServiceAccess {
   static const online::ServiceConfig& config(const Service& s) {
     return s.config_;
   }
-  static resv::AvailabilityProfile& profile(Service& s) { return s.profile_; }
+  /// The calendar `s` is currently bound to. Every accessor on this struct
+  /// takes the target service explicitly — in a sharded deployment
+  /// (DESIGN.md §9) each shard owns its own engine + calendar pair, and a
+  /// repair of shard A must resolve A's calendar, never a global one. In
+  /// bound mode this is the shard's calendar, not a member of `s`.
+  static resv::AvailabilityProfile& profile(Service& s) { return *s.profile_; }
   static online::EventQueue& queue(Service& s) { return s.queue_; }
   static resv::ReservationList& committed(Service& s) { return s.committed_; }
   static std::vector<online::JobOutcome>& outcomes(Service& s) {

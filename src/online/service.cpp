@@ -16,13 +16,28 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 SchedulerService::SchedulerService(ServiceConfig config)
     : config_(std::move(config)),
-      profile_(config_.capacity),
+      owned_profile_(std::in_place, config_.capacity),
+      profile_(&*owned_profile_),
       metrics_(config_.capacity),
       now_(-kInf) {
   RESCHED_CHECK(config_.history_window > 0.0,
                 "history window must be positive");
   RESCHED_CHECK(config_.counter_offer_limit > 0.0,
                 "counter-offer limit must be positive");
+}
+
+SchedulerService::SchedulerService(ServiceConfig config,
+                                   resv::AvailabilityProfile& calendar)
+    : config_(std::move(config)),
+      profile_(&calendar),
+      metrics_(config_.capacity),
+      now_(-kInf) {
+  RESCHED_CHECK(config_.history_window > 0.0,
+                "history window must be positive");
+  RESCHED_CHECK(config_.counter_offer_limit > 0.0,
+                "counter-offer limit must be positive");
+  RESCHED_CHECK(calendar.capacity() == config_.capacity,
+                "bound calendar capacity must match the engine's config");
 }
 
 void SchedulerService::submit(JobSubmission job) {
@@ -92,6 +107,7 @@ void SchedulerService::process(const Event& e) {
   OBS_PHASE("online.event");
   OBS_HIST("online.queue_depth", queue_.size() + 1);
   now_ = e.time;
+  ++events_processed_;
   switch (e.type) {
     case EventType::kSubmission:
       handle_submission(e);
@@ -204,7 +220,7 @@ void SchedulerService::handle_submission(const Event& e) {
     const resv::Reservation r = rit->second;
     pending_resv_.erase(rit);
     trace_event(e, r.start);
-    profile_.add(r);
+    profile_->add(r);
     committed_.push_back(r);
     int ext = next_external_id_++;
     externals_.emplace(ext, ExternalResv{r, 0, false});
@@ -237,14 +253,14 @@ void SchedulerService::schedule_job(const JobSubmission& job, double t,
   OBS_PHASE("online.schedule_job");
   if (config_.compact_calendar) {
     OBS_COUNT("online.compactions", 1);
-    profile_.compact(t - config_.history_window);
+    profile_->compact(t - config_.history_window);
   }
   int q_hist =
-      resv::historical_average_available(profile_, t, config_.history_window);
+      resv::historical_average_available(*profile_, t, config_.history_window);
 
   if (!job.deadline) {
     auto res =
-        core::schedule_ressched(job.dag, profile_, t, q_hist, config_.ressched);
+        core::schedule_ressched(job.dag, *profile_, t, q_hist, config_.ressched);
     commit_schedule(job, t, seq, res.schedule, Decision::kAccepted, kNaN);
     return;
   }
@@ -256,8 +272,8 @@ void SchedulerService::schedule_job(const JobSubmission& job, double t,
   // goes straight to rejection or counter-offer — exactly where the failed
   // pass would have sent it.
   core::DeadlineResult dl;
-  if (*job.deadline >= core::earliest_finish_floor(job.dag, profile_, t))
-    dl = core::schedule_deadline(job.dag, profile_, t, q_hist, *job.deadline,
+  if (*job.deadline >= core::earliest_finish_floor(job.dag, *profile_, t))
+    dl = core::schedule_deadline(job.dag, *profile_, t, q_hist, *job.deadline,
                                  config_.deadline);
   if (dl.feasible) {
     commit_schedule(job, t, seq, dl.schedule, Decision::kAccepted, kNaN);
@@ -271,7 +287,7 @@ void SchedulerService::schedule_job(const JobSubmission& job, double t,
   // calendar (§5.3's tightest-deadline machinery) and tentatively commit
   // the schedule achieving it; the submitter's stretch rule then accepts or
   // rolls back.
-  auto tight = core::tightest_deadline(job.dag, profile_, t, q_hist,
+  auto tight = core::tightest_deadline(job.dag, *profile_, t, q_hist,
                                        config_.deadline, config_.tightest);
   RESCHED_ASSERT(tight.at_deadline.feasible,
                  "tightest-deadline search must end feasible");
@@ -292,15 +308,15 @@ void SchedulerService::commit_schedule(const JobSubmission& job, double t,
   // Audit snapshot: a rejected (rolled-back) admission must leave the
   // calendar byte-identical.
   std::vector<std::pair<double, int>> audit_before;
-  if (config_.audit_rollback) audit_before = profile_.canonical_steps();
+  if (config_.audit_rollback) audit_before = profile_->canonical_steps();
 
-  resv::AvailabilityProfile::CommitToken token = profile_.commit(rs);
+  resv::AvailabilityProfile::CommitToken token = profile_->commit(rs);
   if (decision == Decision::kCounterOffered &&
       std::isfinite(config_.counter_offer_limit) &&
       counter_offer - t > config_.counter_offer_limit * (*job.deadline - t)) {
-    profile_.rollback(token);
+    profile_->rollback(token);
     if (config_.audit_rollback)
-      RESCHED_ASSERT(profile_.canonical_steps() == audit_before,
+      RESCHED_ASSERT(profile_->canonical_steps() == audit_before,
                      "rollback left the calendar different from the "
                      "pre-commit state");
     reject(job, t, seq, counter_offer);

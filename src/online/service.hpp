@@ -114,7 +114,21 @@ struct JobOutcome {
 
 class SchedulerService {
  public:
+  /// Engine over an internally owned calendar of config.capacity procs —
+  /// the classic single-engine mode.
   explicit SchedulerService(ServiceConfig config);
+
+  /// Engine bound to an externally owned calendar (the engine-per-shard
+  /// mode, DESIGN.md §9): the service mutates `calendar` in place and never
+  /// owns it, so a shard can hand the same calendar to its repair engine
+  /// and its checkpointer. `calendar` must outlive the service and its
+  /// capacity must equal config.capacity.
+  SchedulerService(ServiceConfig config, resv::AvailabilityProfile& calendar);
+
+  // The engine hands out its address (repair handlers, ServiceAccess) and
+  // may point into its own calendar member; it lives where it was built.
+  SchedulerService(const SchedulerService&) = delete;
+  SchedulerService& operator=(const SchedulerService&) = delete;
 
   /// Enqueues a DAG submission. Submissions may be enqueued in any order;
   /// processing is strictly time-ordered (ties FIFO by enqueue order). A
@@ -133,9 +147,16 @@ class SchedulerService {
   void run_all();
 
   double now() const { return now_; }
-  const resv::AvailabilityProfile& profile() const { return profile_; }
+  const resv::AvailabilityProfile& profile() const { return *profile_; }
   const OnlineMetrics& metrics() const { return metrics_; }
   const std::vector<JobOutcome>& outcomes() const { return outcomes_; }
+  /// Pending events (load signal for shard routing).
+  std::size_t queue_size() const { return queue_.size(); }
+  /// Events processed since construction — the sharded throughput bench's
+  /// unit of work. Process-local: not part of the checkpoint format.
+  std::uint64_t events_processed() const { return events_processed_; }
+  /// Processors busy right now (running tasks + started externals).
+  int used_procs() const { return used_procs_; }
   /// All reservations currently in the calendar, in commit order — an
   /// offline rebuild of the calendar from this list matches profile()
   /// exactly. Rolled-back admissions never enter the list; disruption
@@ -233,7 +254,11 @@ class SchedulerService {
                       double value);
 
   ServiceConfig config_;
-  resv::AvailabilityProfile profile_;
+  /// Engaged only in owning mode; profile_ then points at it. In bound
+  /// mode (the shard constructor) it stays empty and profile_ targets the
+  /// caller's calendar.
+  std::optional<resv::AvailabilityProfile> owned_profile_;
+  resv::AvailabilityProfile* profile_;
   EventQueue queue_;
   OnlineMetrics metrics_;
   std::vector<JobOutcome> outcomes_;
@@ -252,6 +277,7 @@ class SchedulerService {
   int used_procs_ = 0;
   int next_external_id_ = 0;
   std::uint64_t stale_events_ = 0;
+  std::uint64_t events_processed_ = 0;
   bool ft_active_ = false;
 };
 

@@ -12,6 +12,16 @@
 // applicable), value (type-dependent: schedule finish time for accept,
 // offered deadline for counter_offer, requested deadline for reject).
 //
+// Sharded mode (DESIGN.md §9): engine sequence numbers are per-engine, so a
+// multi-shard run namespaces its records with a leading shard id —
+//
+//   {"shard":2,"seq":12,"t":3600,"type":"submit",...}
+//
+// — making (shard, seq) a unique event id across the whole service. The tag
+// is emitted only for records carrying a shard id (shard >= 0); untagged
+// records render exactly as before, so single-engine traces (and their
+// golden files) are byte-for-byte unchanged.
+//
 // Doubles are formatted with %.17g, which strtod parses back to the exact
 // same bits, so write -> read -> write round-trips byte-identically — the
 // property the golden-file test in tests/online_trace_test.cpp enforces.
@@ -25,7 +35,8 @@
 namespace resched::online {
 
 /// One trace line. `type` holds an event name (to_string(EventType)) or a
-/// decision name (to_string(Decision)).
+/// decision name (to_string(Decision)). `shard` is the owning shard in a
+/// sharded run; -1 (the default) means untagged — the single-engine schema.
 struct TraceRecord {
   std::uint64_t seq = 0;
   double time = 0.0;
@@ -34,6 +45,7 @@ struct TraceRecord {
   int task = -1;
   int procs = 0;
   double value = 0.0;
+  int shard = -1;
 
   bool operator==(const TraceRecord&) const = default;
 };
@@ -41,14 +53,19 @@ struct TraceRecord {
 /// Formats a double such that strtod(result) reproduces the value exactly.
 std::string format_double(double v);
 
-/// Streams records as JSONL. The stream is borrowed, not owned.
+/// Streams records as JSONL. The stream is borrowed, not owned. A writer
+/// constructed with a shard id stamps it into every untagged record it
+/// writes — the per-shard writers of a sharded service tag mechanically
+/// while single-engine callers stay schema-compatible.
 class TraceWriter {
  public:
-  explicit TraceWriter(std::ostream& out) : out_(&out) {}
+  explicit TraceWriter(std::ostream& out, int shard = -1)
+      : out_(&out), shard_(shard) {}
   void write(const TraceRecord& record);
 
  private:
   std::ostream* out_;
+  int shard_ = -1;
 };
 
 /// Serializes one record to its JSONL line (no trailing newline).
@@ -59,5 +76,15 @@ TraceRecord parse_trace_line(const std::string& line);
 
 /// Reads a whole trace (empty lines are skipped).
 std::vector<TraceRecord> read_trace(std::istream& in);
+
+/// Merges per-shard traces into one stream under the deterministic total
+/// order (time, shard, seq) — the order every multi-shard replay converges
+/// to regardless of thread count, so merged traces diff cleanly. Each input
+/// is one shard's trace, already time-ordered (engine traces are); records
+/// still untagged inherit their input's index as shard id. The merge is
+/// stable: a decision record reuses its submission's (time, seq), and the
+/// pair keeps the shard's emission order (submit before decision) — which
+/// is why an input must hold a whole shard, never a slice of one.
+std::vector<TraceRecord> merge_traces(std::vector<std::vector<TraceRecord>> shards);
 
 }  // namespace resched::online

@@ -132,6 +132,19 @@ double AvailabilityProfile::average_available(double from, double to) const {
   return integral / (to - from);
 }
 
+double AvailabilityProfile::reserved_area_after(double from) const {
+  double area = 0.0;
+  index_.for_each_segment(from, kPosInf, [&](double key, double next,
+                                             int value) {
+    if (next == kPosInf) return;  // unbounded all-free tail
+    double seg_start = std::max(key, from);
+    if (next <= seg_start) return;
+    area += static_cast<double>(capacity_ - std::clamp(value, 0, capacity_)) *
+            (next - seg_start);
+  });
+  return area;
+}
+
 int AvailabilityProfile::min_available(double from, double to) const {
   RESCHED_CHECK(from < to, "min_available requires from < to");
   int lo = capacity_;

@@ -112,6 +112,13 @@ class AvailabilityProfile {
   /// Time-average of available processors over [from, to), from < to.
   double average_available(double from, double to) const;
 
+  /// Committed work still ahead of `from`: the integral of (capacity −
+  /// availability), clamped to [0, capacity], over [from, last breakpoint),
+  /// in processor·seconds. The unbounded all-free tail contributes nothing,
+  /// so the result is finite; a calendar with no reservations after `from`
+  /// returns 0. Load signal for shard routing (DESIGN.md §9).
+  double reserved_area_after(double from) const;
+
   /// Minimum availability over [from, to).
   int min_available(double from, double to) const;
 

@@ -1,0 +1,69 @@
+// Persistent worker pool for lockstep shard advancement (DESIGN.md §9).
+//
+// The sharded service advances every shard to the same timestamp before
+// each routing decision — thousands of short barriers per replay. Spawning
+// threads per barrier (sim::parallel_for's model, built for coarse
+// experiment cells) would dominate the cost, so this pool keeps its workers
+// alive across calls: run() publishes one job under a mutex, wakes the
+// workers, and blocks until all indices are done. Workers claim indices in
+// ascending order from a shared counter, so the exception contract matches
+// sim::parallel_for — the lowest throwing index wins, independent of
+// thread count and scheduling.
+//
+// A pool constructed with one thread never spawns: run() executes inline
+// on the caller, which keeps single-threaded sharded runs free of any
+// synchronization (and trivially deterministic under TSan).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace resched::shard {
+
+class ShardPool {
+ public:
+  /// Pool of `threads` workers (>= 1). One thread = inline execution.
+  explicit ShardPool(int threads);
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+  ~ShardPool();
+
+  int threads() const { return threads_; }
+
+  /// Runs fn(0) ... fn(n-1) across the workers and returns when every
+  /// index has finished (a full barrier). Each index runs exactly once.
+  /// If any index throws, the remaining indices are still claimed and
+  /// drained (the barrier always completes) and the exception from the
+  /// lowest throwing index is rethrown on the caller. Not reentrant.
+  void run(int n, const std::function<void(int)>& fn);
+
+ private:
+  void worker_loop();
+  /// Claims indices until exhausted; called by workers and the caller.
+  void drain();
+
+  const int threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers wait for a new epoch
+  std::condition_variable done_cv_;  ///< caller waits for the barrier
+  std::uint64_t epoch_ = 0;          ///< bumped per run() to publish work
+  bool stopping_ = false;
+
+  // Job state for the current epoch (valid while busy_workers_ > 0 or the
+  // caller is inside run()).
+  const std::function<void(int)>* fn_ = nullptr;
+  int n_ = 0;
+  int next_ = 0;       ///< next unclaimed index (under mu_)
+  int done_ = 0;       ///< finished indices (under mu_)
+  int error_index_ = 0;
+  std::exception_ptr error_;
+};
+
+}  // namespace resched::shard
