@@ -1,0 +1,66 @@
+// rstat — query a running reschedd.
+//
+//   rstat --unix /tmp/resched.sock             # whole-server stats
+//   rstat --unix /tmp/resched.sock --job 3     # one job's lifecycle state
+//
+// Prints the wire JSON response on stdout; with no --job also renders a
+// short human summary on stderr.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/srv/client.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: rstat (--unix PATH | --tcp PORT [--host H]) [--job ID]\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string unix_path;
+  std::string host = "127.0.0.1";
+  int port = -1;
+  int job_id = -1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--unix") unix_path = value();
+    else if (arg == "--tcp") port = std::atoi(value().c_str());
+    else if (arg == "--host") host = value();
+    else if (arg == "--job") job_id = std::atoi(value().c_str());
+    else usage();
+  }
+  if (unix_path.empty() && port < 0) usage();
+
+  try {
+    resched::srv::Client client =
+        unix_path.empty() ? resched::srv::Client::connect_tcp(host, port)
+                          : resched::srv::Client::connect_unix(unix_path);
+    const resched::srv::proto::Response response = client.status(job_id);
+    std::printf("%s\n", resched::srv::proto::encode(response).c_str());
+    if (response.stats) {
+      const auto& s = *response.stats;
+      std::fprintf(stderr,
+                   "now %.0f  events %llu  submitted %d  accepted %d  "
+                   "offered %d  rejected %d  cancelled %d  wal %llu  "
+                   "shards %d\n",
+                   s.now, static_cast<unsigned long long>(s.events),
+                   s.submitted, s.accepted, s.offered, s.rejected,
+                   s.cancelled, static_cast<unsigned long long>(s.wal_records),
+                   s.shards);
+    }
+    return response.ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rstat: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,141 @@
+// rsub — submit / cancel / negotiate jobs against a running reschedd.
+//
+//   rsub --unix /tmp/resched.sock --job 1 --t 0 --chain 3 --seq 3600
+//   rsub --unix /tmp/resched.sock --job 2 --t 0 --deadline 40000
+//        --tasks 3600:0.2,7200:0.5 --edges 0-1
+//   rsub --unix /tmp/resched.sock --job 2 --accept --t 100
+//   rsub --unix /tmp/resched.sock --job 1 --cancel --t 500
+//   rsub --unix /tmp/resched.sock --shutdown
+//
+// The DAG comes either from --chain N (a linear chain of N identical
+// tasks, --seq seconds each, --alpha Amdahl fraction) or from explicit
+// --tasks seq:alpha,... plus --edges u-v,... lists. The response prints as
+// its wire JSON on stdout; exit status 0 iff the daemon answered ok.
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/dag/dag.hpp"
+#include "src/srv/client.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: rsub (--unix PATH | --tcp PORT [--host H]) [--job ID]\n"
+               "            [--t T] [--deadline D]\n"
+               "            [--chain N [--seq S] [--alpha A]]\n"
+               "            [--tasks S:A,S:A,... [--edges U-V,U-V,...]]\n"
+               "            [--cancel | --accept | --shutdown]\n");
+  std::exit(2);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t end = s.find(sep, start);
+    if (end == std::string::npos) {
+      parts.push_back(s.substr(start));
+      break;
+    }
+    parts.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string unix_path;
+  std::string host = "127.0.0.1";
+  int port = -1;
+  int job_id = 0;
+  double t = 0.0;
+  std::optional<double> deadline;
+  int chain = 0;
+  double seq_time = 3600.0;
+  double alpha = 0.2;
+  std::string tasks_spec;
+  std::string edges_spec;
+  enum class Mode { kSubmit, kCancel, kAccept, kShutdown } mode = Mode::kSubmit;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--unix") unix_path = value();
+    else if (arg == "--tcp") port = std::atoi(value().c_str());
+    else if (arg == "--host") host = value();
+    else if (arg == "--job") job_id = std::atoi(value().c_str());
+    else if (arg == "--t") t = std::atof(value().c_str());
+    else if (arg == "--deadline") deadline = std::atof(value().c_str());
+    else if (arg == "--chain") chain = std::atoi(value().c_str());
+    else if (arg == "--seq") seq_time = std::atof(value().c_str());
+    else if (arg == "--alpha") alpha = std::atof(value().c_str());
+    else if (arg == "--tasks") tasks_spec = value();
+    else if (arg == "--edges") edges_spec = value();
+    else if (arg == "--cancel") mode = Mode::kCancel;
+    else if (arg == "--accept") mode = Mode::kAccept;
+    else if (arg == "--shutdown") mode = Mode::kShutdown;
+    else usage();
+  }
+  if (unix_path.empty() && port < 0) usage();
+
+  try {
+    resched::srv::Client client =
+        unix_path.empty() ? resched::srv::Client::connect_tcp(host, port)
+                          : resched::srv::Client::connect_unix(unix_path);
+
+    resched::srv::proto::Response response;
+    switch (mode) {
+      case Mode::kShutdown:
+        response = client.shutdown_server();
+        break;
+      case Mode::kCancel:
+        response = client.cancel(job_id, t);
+        break;
+      case Mode::kAccept:
+        response = client.accept_offer(job_id, t);
+        break;
+      case Mode::kSubmit: {
+        std::vector<resched::dag::TaskCost> costs;
+        std::vector<std::pair<int, int>> edges;
+        if (!tasks_spec.empty()) {
+          for (const std::string& part : split(tasks_spec, ',')) {
+            const auto fields = split(part, ':');
+            if (fields.size() != 2) usage();
+            costs.push_back({std::atof(fields[0].c_str()),
+                             std::atof(fields[1].c_str())});
+          }
+          if (!edges_spec.empty())
+            for (const std::string& part : split(edges_spec, ',')) {
+              const auto ends = split(part, '-');
+              if (ends.size() != 2) usage();
+              edges.emplace_back(std::atoi(ends[0].c_str()),
+                                 std::atoi(ends[1].c_str()));
+            }
+        } else if (chain > 0) {
+          for (int i = 0; i < chain; ++i) costs.push_back({seq_time, alpha});
+          for (int i = 0; i + 1 < chain; ++i) edges.emplace_back(i, i + 1);
+        } else {
+          usage();
+        }
+        response = client.submit(
+            job_id, t, resched::dag::Dag(std::move(costs), edges), deadline);
+        break;
+      }
+    }
+    std::printf("%s\n", resched::srv::proto::encode(response).c_str());
+    return response.ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rsub: %s\n", e.what());
+    return 1;
+  }
+}

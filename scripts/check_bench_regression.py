@@ -2,19 +2,35 @@
 """Compares a google-benchmark JSON run against a checked-in baseline.
 
 Usage: check_bench_regression.py BASELINE.json CURRENT.json [--factor 2.0]
+       check_bench_regression.py --self-test
 
-Fails (exit 1) when any benchmark present in both files is slower than
-`factor` times its baseline real_time, or when the current run is missing a
-baseline benchmark. When the baseline contains both halves of a SPEEDUP_PAIRS
-entry, also enforces that acceptance bar: the slow benchmark must be at
-least `minimum` times slower than the fast one *within the current run*
-(so machine speed cancels out). Baselines without those benchmarks (e.g.
-the RESSCHED smoke gate) skip the bars. Current pairs:
+Fails (exit 1) when:
+
+  * the baseline contains no benchmarks at all (an empty or mis-generated
+    baseline would otherwise vacuously "pass" — hard failure);
+  * a benchmark present in the baseline is missing from the current run;
+  * a custom counter present in a baseline benchmark is missing from the
+    same benchmark in the current run (renaming or dropping a counter must
+    show up as a red gate, not as silently skipped coverage);
+  * any benchmark present in both files is slower than `factor` times its
+    baseline real_time;
+  * a SPEEDUP_PAIRS or THROUGHPUT_BARS entry whose benchmarks exist in the
+    baseline is violated *within the current run* (machine speed cancels
+    out for pairs; bars are absolute floors). Baselines without those
+    benchmarks (e.g. the RESSCHED smoke gate) skip the bars.
+
+Current pairs / bars:
 
   * indexed calendar — indexed earliest_fit at 10k reservations beats the
     linear oracle by >= 5x;
   * sharded service  — a 4-shard replay sustains >= 2x the events/sec of
-    the 1-shard replay of the same stream (DESIGN.md §9 acceptance bar).
+    the 1-shard replay of the same stream (DESIGN.md §9 acceptance bar);
+  * reschedd RPC     — pipelined submits over a unix socket sustain
+    >= 10k RPCs/sec with a durable WAL (DESIGN.md §10 acceptance bar).
+
+--self-test runs the checker against synthetic in-memory fixtures and
+exits 0 iff every failure mode actually fails (wired into the lint CI
+job so the gate itself cannot rot).
 """
 
 import argparse
@@ -29,41 +45,70 @@ SPEEDUP_PAIRS = [
      "4-shard replay speedup over 1 shard"),
 ]
 
+# (benchmark, counter, required minimum counter value, label)
+THROUGHPUT_BARS = [
+    ("BM_SubmitPipelined/8/real_time", "rpc_per_sec", 10000.0,
+     "reschedd pipelined submit throughput (DESIGN.md §10 bar)"),
+]
+
+# google-benchmark JSON keys that are not user counters.
+_STANDARD_KEYS = {
+    "name", "family_index", "per_family_instance_index", "run_name",
+    "run_type", "repetitions", "repetition_index", "threads", "iterations",
+    "real_time", "cpu_time", "time_unit", "aggregate_name", "label",
+    "error_occurred", "error_message", "big_o", "rms",
+}
+
 
 def load(path):
     with open(path) as f:
-        data = json.load(f)
-    return {
-        b["name"]: float(b["real_time"])
-        for b in data["benchmarks"]
-        if b.get("run_type", "iteration") == "iteration"
-    }
+        return parse(json.load(f))
 
 
-def main():
-    ap = argparse.ArgumentParser()
-    ap.add_argument("baseline")
-    ap.add_argument("current")
-    ap.add_argument("--factor", type=float, default=2.0)
-    args = ap.parse_args()
+def parse(data):
+    """benchmark name -> {"real_time": float, "counters": {name: float}}."""
+    out = {}
+    for b in data["benchmarks"]:
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        counters = {
+            key: float(value)
+            for key, value in b.items()
+            if key not in _STANDARD_KEYS and isinstance(value, (int, float))
+        }
+        out[b["name"]] = {
+            "real_time": float(b["real_time"]),
+            "counters": counters,
+        }
+    return out
 
-    baseline = load(args.baseline)
-    current = load(args.current)
 
-    failures = []
-    for name, base_time in sorted(baseline.items()):
+def compare(baseline, current, factor):
+    """Returns (report_lines, failure_lines)."""
+    lines, failures = [], []
+    if not baseline:
+        failures.append("baseline contains no benchmarks"
+                        " (empty or mis-generated baseline file)")
+        return lines, failures
+
+    for name, base in sorted(baseline.items()):
         if name not in current:
             failures.append(f"{name}: missing from the current run")
             continue
-        cur_time = current[name]
+        cur = current[name]
+        base_time, cur_time = base["real_time"], cur["real_time"]
         ratio = cur_time / base_time if base_time > 0 else float("inf")
-        marker = "FAIL" if ratio > args.factor else "ok"
-        print(f"{marker:4} {name}: {base_time:12.1f} ns -> {cur_time:12.1f} ns"
-              f"  ({ratio:.2f}x)")
-        if ratio > args.factor:
-            failures.append(
-                f"{name}: {ratio:.2f}x slower than baseline"
-                f" (limit {args.factor:.2f}x)")
+        marker = "FAIL" if ratio > factor else "ok"
+        lines.append(f"{marker:4} {name}: {base_time:12.1f} ns ->"
+                     f" {cur_time:12.1f} ns  ({ratio:.2f}x)")
+        if ratio > factor:
+            failures.append(f"{name}: {ratio:.2f}x slower than baseline"
+                            f" (limit {factor:.2f}x)")
+        for counter in sorted(base["counters"]):
+            if counter not in cur["counters"]:
+                failures.append(
+                    f"{name}: counter '{counter}' present in the baseline is"
+                    f" missing from the current run")
 
     for slow, fast, minimum, label in SPEEDUP_PAIRS:
         if slow not in baseline or fast not in baseline:
@@ -71,12 +116,100 @@ def main():
         if slow not in current or fast not in current:
             failures.append(f"{label}: benchmarks missing from the current run")
             continue
-        speedup = current[slow] / current[fast]
-        print(f"{label}: {speedup:.1f}x (required >= {minimum}x)")
+        speedup = current[slow]["real_time"] / current[fast]["real_time"]
+        lines.append(f"{label}: {speedup:.1f}x (required >= {minimum}x)")
         if speedup < minimum:
-            failures.append(
-                f"{label}: {speedup:.1f}x below the {minimum}x bar")
+            failures.append(f"{label}: {speedup:.1f}x below the {minimum}x bar")
 
+    for name, counter, minimum, label in THROUGHPUT_BARS:
+        if name not in baseline:
+            continue
+        value = current.get(name, {}).get("counters", {}).get(counter)
+        if value is None:
+            failures.append(f"{label}: {name} counter '{counter}' missing"
+                            f" from the current run")
+            continue
+        lines.append(f"{label}: {value:.0f} (required >= {minimum:.0f})")
+        if value < minimum:
+            failures.append(f"{label}: {value:.0f} below the"
+                            f" {minimum:.0f} floor")
+
+    return lines, failures
+
+
+def self_test():
+    """Every failure mode must fail; the healthy case must pass."""
+    def bench(name, real_time, **counters):
+        return {"name": name, "run_type": "iteration",
+                "real_time": real_time, "cpu_time": real_time,
+                "time_unit": "ns", "iterations": 1, **counters}
+
+    base = parse({"benchmarks": [
+        bench("BM_X/1", 100.0, widgets_per_sec=50.0),
+        bench("BM_SubmitPipelined/8/real_time", 100.0, rpc_per_sec=20000.0),
+    ]})
+    good = parse({"benchmarks": [
+        bench("BM_X/1", 110.0, widgets_per_sec=48.0),
+        bench("BM_SubmitPipelined/8/real_time", 90.0, rpc_per_sec=15000.0),
+    ]})
+
+    cases = []  # (label, baseline, current, expect_failure)
+    cases.append(("healthy run passes", base, good, False))
+    cases.append(("empty baseline fails", parse({"benchmarks": []}),
+                  good, True))
+    missing_bench = {"BM_X/1": good["BM_X/1"]}
+    cases.append(("missing benchmark fails", base, missing_bench, True))
+    slow = {name: dict(value) for name, value in good.items()}
+    slow["BM_X/1"] = {"real_time": 500.0,
+                      "counters": {"widgets_per_sec": 10.0}}
+    cases.append(("2x regression fails", base, slow, True))
+    dropped = {name: {"real_time": value["real_time"],
+                      "counters": dict(value["counters"])}
+               for name, value in good.items()}
+    del dropped["BM_X/1"]["counters"]["widgets_per_sec"]
+    cases.append(("dropped counter fails", base, dropped, True))
+    under_bar = {name: {"real_time": value["real_time"],
+                        "counters": dict(value["counters"])}
+                 for name, value in good.items()}
+    under_bar["BM_SubmitPipelined/8/real_time"]["counters"][
+        "rpc_per_sec"] = 5000.0
+    cases.append(("throughput below the bar fails", base, under_bar, True))
+
+    broken = 0
+    for label, b, c, expect_failure in cases:
+        _, failures = compare(b, c, factor=2.0)
+        failed = bool(failures)
+        verdict = "ok" if failed == expect_failure else "SELF-TEST BROKEN"
+        if failed != expect_failure:
+            broken += 1
+        print(f"{verdict:16} {label}"
+              + (f" ({failures[0]})" if failures else ""))
+    if broken:
+        print(f"\nself-test FAILED: {broken} case(s) misbehaved",
+              file=sys.stderr)
+        return 1
+    print("\nself-test passed")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline", nargs="?")
+    ap.add_argument("current", nargs="?")
+    ap.add_argument("--factor", type=float, default=2.0)
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the checker's own failure modes and exit")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        ap.error("BASELINE and CURRENT are required unless --self-test")
+
+    lines, failures = compare(load(args.baseline), load(args.current),
+                              args.factor)
+    for line in lines:
+        print(line)
     if failures:
         print("\nbenchmark regression check FAILED:", file=sys.stderr)
         for f in failures:

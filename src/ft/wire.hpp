@@ -1,0 +1,150 @@
+// Primitive binary stream IO shared by the checkpoint (src/ft/checkpoint.*)
+// and the server durability layer (src/srv/wal.*, snapshot envelopes).
+//
+// Host-endian; doubles travel as their IEEE-754 bit patterns, so values
+// round-trip bit-exactly on the architecture that wrote them. Readers
+// validate availability before touching payload bytes and throw
+// resched::Error on truncation — a stream that loads without throwing is
+// structurally complete.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/dag/dag.hpp"
+#include "src/resv/reservation.hpp"
+#include "src/util/error.hpp"
+
+namespace resched::ft::wire {
+
+inline void put_bytes(std::ostream& out, const void* data, std::size_t n) {
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+  RESCHED_CHECK(out.good(), "stream write failed");
+}
+
+inline void get_bytes(std::istream& in, void* data, std::size_t n) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+  RESCHED_CHECK(in.gcount() == static_cast<std::streamsize>(n),
+                "stream truncated");
+}
+
+inline void put_u8(std::ostream& out, std::uint8_t v) { put_bytes(out, &v, 1); }
+inline void put_u32(std::ostream& out, std::uint32_t v) {
+  put_bytes(out, &v, 4);
+}
+inline void put_u64(std::ostream& out, std::uint64_t v) {
+  put_bytes(out, &v, 8);
+}
+inline void put_i32(std::ostream& out, std::int32_t v) {
+  put_bytes(out, &v, 4);
+}
+inline void put_f64(std::ostream& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+inline void put_bool(std::ostream& out, bool v) { put_u8(out, v ? 1 : 0); }
+inline void put_string(std::ostream& out, const std::string& s) {
+  put_u64(out, s.size());
+  if (!s.empty()) put_bytes(out, s.data(), s.size());
+}
+
+inline std::uint8_t get_u8(std::istream& in) {
+  std::uint8_t v;
+  get_bytes(in, &v, 1);
+  return v;
+}
+inline std::uint32_t get_u32(std::istream& in) {
+  std::uint32_t v;
+  get_bytes(in, &v, 4);
+  return v;
+}
+inline std::uint64_t get_u64(std::istream& in) {
+  std::uint64_t v;
+  get_bytes(in, &v, 8);
+  return v;
+}
+inline std::int32_t get_i32(std::istream& in) {
+  std::int32_t v;
+  get_bytes(in, &v, 4);
+  return v;
+}
+inline double get_f64(std::istream& in) {
+  return std::bit_cast<double>(get_u64(in));
+}
+inline bool get_bool(std::istream& in) { return get_u8(in) != 0; }
+inline std::string get_string(std::istream& in) {
+  std::string s(static_cast<std::size_t>(get_u64(in)), '\0');
+  if (!s.empty()) get_bytes(in, s.data(), s.size());
+  return s;
+}
+
+// --- Composite IO ---------------------------------------------------------
+
+inline void put_reservation(std::ostream& out, const resv::Reservation& r) {
+  put_f64(out, r.start);
+  put_f64(out, r.end);
+  put_i32(out, r.procs);
+}
+
+inline resv::Reservation get_reservation(std::istream& in) {
+  resv::Reservation r;
+  r.start = get_f64(in);
+  r.end = get_f64(in);
+  r.procs = get_i32(in);
+  return r;
+}
+
+inline void put_optional_f64(std::ostream& out,
+                             const std::optional<double>& v) {
+  put_bool(out, v.has_value());
+  if (v) put_f64(out, *v);
+}
+
+inline std::optional<double> get_optional_f64(std::istream& in) {
+  if (!get_bool(in)) return std::nullopt;
+  return get_f64(in);
+}
+
+/// A Dag serializes as its costs plus the edge list read off the successor
+/// adjacency; reconstruction through the validating constructor derives
+/// the identical structure (orders included) because everything in a Dag
+/// is a deterministic function of (costs, edges).
+inline void put_dag(std::ostream& out, const dag::Dag& dag) {
+  const int n = dag.size();
+  put_i32(out, n);
+  for (int i = 0; i < n; ++i) {
+    put_f64(out, dag.cost(i).seq_time);
+    put_f64(out, dag.cost(i).alpha);
+  }
+  put_i32(out, dag.num_edges());
+  for (int i = 0; i < n; ++i)
+    for (int succ : dag.successors(i)) {
+      put_i32(out, i);
+      put_i32(out, succ);
+    }
+}
+
+inline dag::Dag get_dag(std::istream& in) {
+  const int n = get_i32(in);
+  RESCHED_CHECK(n >= 1, "serialized DAG must have tasks");
+  std::vector<dag::TaskCost> costs(static_cast<std::size_t>(n));
+  for (auto& c : costs) {
+    c.seq_time = get_f64(in);
+    c.alpha = get_f64(in);
+  }
+  const int m = get_i32(in);
+  RESCHED_CHECK(m >= 0, "serialized DAG edge count must be >= 0");
+  std::vector<std::pair<int, int>> edges(static_cast<std::size_t>(m));
+  for (auto& e : edges) {
+    e.first = get_i32(in);
+    e.second = get_i32(in);
+  }
+  return dag::Dag(std::move(costs), edges);
+}
+
+}  // namespace resched::ft::wire

@@ -65,6 +65,13 @@ class EventQueue {
   /// Sequence number the next push will receive.
   std::uint64_t next_seq() const { return next_seq_; }
 
+  /// Consumes and returns the next sequence number without enqueueing an
+  /// event — for engine actions that are not queue events but still need a
+  /// unique, deterministic position in the (time, seq) trace order (job
+  /// cancellation, DESIGN.md §10). Checkpoints persist next_seq, so
+  /// allocation replays identically across kill-and-resume.
+  std::uint64_t allocate_seq() { return next_seq_++; }
+
   /// Every pending event, sorted by (time, seq) — a deterministic image of
   /// the queue for checkpointing. The queue itself is unchanged.
   std::vector<Event> snapshot() const;

@@ -47,6 +47,13 @@ void SchedulerService::submit(JobSubmission job) {
   if (job.deadline)
     RESCHED_CHECK(*job.deadline > job.submit,
                   "deadline must lie after the submission instant");
+  if (wal_hook_) {
+    WalOp op;
+    op.kind = WalOp::Kind::kSubmit;
+    op.time = job.submit;
+    op.job = &job;
+    wal_hook_(op);
+  }
   Event e;
   e.time = job.submit;
   e.type = EventType::kSubmission;
@@ -63,12 +70,80 @@ void SchedulerService::submit_reservation(double arrival,
                 "external reservation must start at or after its arrival");
   RESCHED_CHECK(r.start < r.end, "reservation must have positive duration");
   RESCHED_CHECK(r.procs >= 1, "reservation must hold processors");
+  if (wal_hook_) {
+    WalOp op;
+    op.kind = WalOp::Kind::kReservation;
+    op.time = arrival;
+    op.resv = &r;
+    wal_hook_(op);
+  }
   Event e;
   e.time = arrival;
   e.type = EventType::kSubmission;
   e.procs = r.procs;
   std::uint64_t seq = queue_.push(e);
   pending_resv_.emplace(seq, r);
+}
+
+bool SchedulerService::cancel_job(double t, int job_id) {
+  RESCHED_CHECK(t >= now_, "cancellation in the engine's past");
+  // Drain the stream up to the cancellation instant first: events at or
+  // before t (task starts, completions — possibly the job's own last one)
+  // decide what is still cancellable.
+  run_until(t);
+  auto it = live_jobs_.find(job_id);
+  if (it == live_jobs_.end()) return false;
+  if (wal_hook_) {
+    WalOp op;
+    op.kind = WalOp::Kind::kCancel;
+    op.time = t;
+    op.job_id = job_id;
+    wal_hook_(op);
+  }
+  OBS_PHASE("online.cancel_job");
+  // Version-bumped placements leave their queued events stale — the same
+  // debris a repair eviction produces, so cancellation runs in ft mode.
+  ft_active_ = true;
+  int released = 0;
+  for (LiveTask& task : it->second.tasks) {
+    if (task.state == LiveTask::State::kDone) continue;
+    ++task.version;
+    if (!task.placed) continue;
+    const resv::Reservation r = task.r.as_reservation();
+    profile_->release(r);
+    erase_committed(r);
+    ++released;
+    if (task.state == LiveTask::State::kRunning) {
+      // The elapsed [start, t) slice genuinely ran; keep its footprint.
+      if (t > task.r.start) {
+        const resv::Reservation stub{task.r.start, t, task.r.procs};
+        profile_->add(stub);
+        committed_.push_back(stub);
+      }
+      change_usage(t, -task.r.procs);
+    }
+    task.placed = false;
+  }
+  // The cancel takes a real sequence number (allocated whether or not a
+  // trace is attached, so state evolution is trace-independent) and lands
+  // in the (time, seq) total order like any other record.
+  const std::uint64_t seq = queue_.allocate_seq();
+  if (trace_ != nullptr)
+    trace_->write({seq, t, "cancel", job_id, -1, released, 0.0});
+  OBS_COUNT("online.cancelled", 1);
+  retired_jobs_.insert(job_id);
+  live_jobs_.erase(it);
+  return true;
+}
+
+void SchedulerService::erase_committed(const resv::Reservation& r) {
+  for (auto rit = committed_.rbegin(); rit != committed_.rend(); ++rit) {
+    if (rit->start == r.start && rit->end == r.end && rit->procs == r.procs) {
+      committed_.erase(std::next(rit).base());
+      return;
+    }
+  }
+  RESCHED_ASSERT(false, "released placement missing from the committed list");
 }
 
 void SchedulerService::set_disruption_handler(DisruptionHandler handler) {

@@ -140,6 +140,37 @@ class SchedulerService {
   /// scheduler at `arrival` and is committed to the calendar then.
   void submit_reservation(double arrival, const resv::Reservation& r);
 
+  /// Cancels a live job at time t >= now() (DESIGN.md §10). The engine
+  /// first drains every event with time <= t, then releases the job's
+  /// placements: pending placements are released in full, running tasks are
+  /// killed leaving their elapsed [start, t) stub in the calendar (that
+  /// work genuinely happened), and completed tasks keep their reservations.
+  /// Queued events for the job go stale via version bumps (cancellation
+  /// switches the engine into fault-tolerant mode, like a repair), and the
+  /// job id is retired. Emits one "cancel" trace record carrying the number
+  /// of released placements. Returns false — with no state change — when
+  /// the job is not live (never admitted, already finished, or cancelled).
+  bool cancel_job(double t, int job_id);
+
+  /// One externally driven mutation, announced to the WAL hook *after*
+  /// argument validation and *before* any state change — the write-ahead
+  /// point (DESIGN.md §10). Pointees are borrowed for the hook call only.
+  struct WalOp {
+    enum class Kind { kSubmit, kReservation, kCancel };
+    Kind kind = Kind::kSubmit;
+    double time = 0.0;                        ///< effective apply time
+    const JobSubmission* job = nullptr;       ///< kSubmit
+    const resv::Reservation* resv = nullptr;  ///< kReservation
+    int job_id = -1;                          ///< kCancel
+  };
+  using WalHook = std::function<void(const WalOp&)>;
+
+  /// Registers the durability hook invoked on every submit /
+  /// submit_reservation / cancel_job (empty hook detaches). The hook may
+  /// throw to veto the mutation (e.g. a failed WAL append): the engine
+  /// state is untouched and the exception propagates to the caller.
+  void set_wal_hook(WalHook hook) { wal_hook_ = std::move(hook); }
+
   /// Processes every event with time <= t, advancing now() to max(t, now).
   void run_until(double t);
 
@@ -245,6 +276,9 @@ class SchedulerService {
   void reject(const JobSubmission& job, double t, std::uint64_t seq,
               double counter_offer);
   void change_usage(double t, int delta);
+  /// Removes the latest committed_ entry matching r exactly (cancellation
+  /// releases placements the admission committed).
+  void erase_committed(const resv::Reservation& r);
   /// Records a version-mismatched event: an invariant violation unless a
   /// disruption handler is active (only repairs create stale events).
   void note_stale(const Event& e);
@@ -272,6 +306,7 @@ class SchedulerService {
   std::set<int> retired_jobs_;
   DisruptionHandler disruption_handler_;
   ConflictHandler conflict_handler_;
+  WalHook wal_hook_;
   TraceWriter* trace_ = nullptr;
   double now_;
   int used_procs_ = 0;

@@ -99,12 +99,23 @@ const resv::AvailabilityProfile& ShardedService::calendar(int s) const {
 }
 
 void ShardedService::submit(online::JobSubmission job) {
+  RESCHED_CHECK(job.submit >= now_,
+                "submission in the router's past (submit < now)");
+  RESCHED_CHECK(job.dag.size() >= 1, "submitted DAG must have tasks");
+  if (job.deadline)
+    RESCHED_CHECK(*job.deadline > job.submit,
+                  "deadline must lie after the submission instant");
+  if (wal_hook_) {
+    online::SchedulerService::WalOp op;
+    op.kind = online::SchedulerService::WalOp::Kind::kSubmit;
+    op.time = job.submit;
+    op.job = &job;
+    wal_hook_(op);
+  }
   if (config_.shards == 1) {  // pass-through: byte-identical to one engine
     shards_[0]->engine.submit(std::move(job));
     return;
   }
-  RESCHED_CHECK(job.submit >= now_,
-                "submission in the router's past (submit < now)");
   double time = job.submit;
   Pending p;
   p.job = std::move(job);
@@ -113,14 +124,49 @@ void ShardedService::submit(online::JobSubmission job) {
 
 void ShardedService::submit_reservation(double arrival,
                                         const resv::Reservation& r) {
+  RESCHED_CHECK(arrival >= now_, "reservation arrival in the router's past");
+  RESCHED_CHECK(r.start >= arrival,
+                "external reservation must start at or after its arrival");
+  RESCHED_CHECK(r.start < r.end, "reservation must have positive duration");
+  RESCHED_CHECK(r.procs >= 1, "reservation must hold processors");
+  if (wal_hook_) {
+    online::SchedulerService::WalOp op;
+    op.kind = online::SchedulerService::WalOp::Kind::kReservation;
+    op.time = arrival;
+    op.resv = &r;
+    wal_hook_(op);
+  }
   if (config_.shards == 1) {
     shards_[0]->engine.submit_reservation(arrival, r);
     return;
   }
-  RESCHED_CHECK(arrival >= now_, "reservation arrival in the router's past");
   Pending p;
   p.resv = r;
   pending_.emplace(std::make_pair(arrival, arrival_seq_++), std::move(p));
+}
+
+bool ShardedService::cancel_job(double t, int job_id) {
+  RESCHED_CHECK(t >= now_, "cancellation in the router's past");
+  // Route everything up to t first so the job's owning shard is decided
+  // and its engine is at the cancellation instant.
+  run_until(t);
+  int owner = -1;
+  for (int s = 0; s < config_.shards; ++s)
+    if (shards_[static_cast<std::size_t>(s)]->engine.live_jobs().count(
+            job_id) > 0) {
+      owner = s;
+      break;
+    }
+  if (owner < 0) return false;
+  if (wal_hook_) {
+    online::SchedulerService::WalOp op;
+    op.kind = online::SchedulerService::WalOp::Kind::kCancel;
+    op.time = t;
+    op.job_id = job_id;
+    wal_hook_(op);
+  }
+  return shards_[static_cast<std::size_t>(owner)]->engine.cancel_job(t,
+                                                                     job_id);
 }
 
 void ShardedService::run_until(double t) {

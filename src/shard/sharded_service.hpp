@@ -113,6 +113,21 @@ class ShardedService {
   /// with room for r.procs) at `arrival`.
   void submit_reservation(double arrival, const resv::Reservation& r);
 
+  /// Cancels a live job at t >= now(): advances every shard to t in
+  /// lockstep, locates the shard whose engine holds the job, and delegates
+  /// to SchedulerService::cancel_job there. Returns false when no shard
+  /// has the job live.
+  bool cancel_job(double t, int job_id);
+
+  /// Durability hook (DESIGN.md §10), invoked on every submit /
+  /// submit_reservation / cancel_job accepted by the router — before any
+  /// routing or engine state changes, mirroring the single-engine
+  /// SchedulerService hook. Per-shard engine hooks stay unset; the router
+  /// is the daemon's single write-ahead point.
+  void set_wal_hook(online::SchedulerService::WalHook hook) {
+    wal_hook_ = std::move(hook);
+  }
+
   /// Routes every pending arrival with time <= t and advances all shards
   /// to max(t, now) in lockstep.
   void run_until(double t);
@@ -171,6 +186,7 @@ class ShardedService {
   /// deterministic submission order, mirroring EventQueue's FIFO tie-break.
   std::map<std::pair<double, std::uint64_t>, Pending> pending_;
   std::uint64_t arrival_seq_ = 0;
+  online::SchedulerService::WalHook wal_hook_;
   std::vector<RoutingOutcome> routing_;
   Aggregates aggregates_;
   double now_;

@@ -1,0 +1,160 @@
+#include "src/srv/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "src/util/error.hpp"
+
+namespace resched::srv {
+
+Client Client::connect_unix(const std::string& path) {
+  RESCHED_CHECK(path.size() < sizeof(sockaddr_un{}.sun_path),
+                "client: unix socket path too long");
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  RESCHED_CHECK(fd >= 0, "client: socket() failed");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw Error("client: connect('" + path + "') failed: " +
+                std::strerror(err));
+  }
+  return Client(fd);
+}
+
+Client Client::connect_tcp(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  RESCHED_CHECK(fd >= 0, "client: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw Error("client: bad host '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw Error("client: connect(tcp) failed: " +
+                std::string(std::strerror(err)));
+  }
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Client::send_raw(std::string_view framed) {
+  const char* p = framed.data();
+  std::size_t left = framed.size();
+  while (left > 0) {
+    const ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
+    RESCHED_CHECK(n > 0, "client: send failed");
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+proto::Response Client::read_response() {
+  std::string payload;
+  char chunk[16 * 1024];
+  while (true) {
+    std::size_t consumed = 0;
+    const proto::FrameStatus status =
+        proto::try_parse_frame(buffer_, consumed, payload);
+    if (status == proto::FrameStatus::kOk) {
+      buffer_.erase(0, consumed);
+      return proto::decode_response(payload);
+    }
+    RESCHED_CHECK(status == proto::FrameStatus::kNeedMore,
+                  "client: corrupt response frame");
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    RESCHED_CHECK(n > 0, "client: connection closed mid-response");
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+proto::Response Client::call(const proto::Request& request) {
+  RESCHED_CHECK(fd_ >= 0, "client: connection closed");
+  send_raw(proto::frame(proto::encode(request)));
+  return read_response();
+}
+
+std::vector<proto::Response> Client::pipeline(
+    const std::vector<proto::Request>& requests) {
+  RESCHED_CHECK(fd_ >= 0, "client: connection closed");
+  std::string framed;
+  for (const proto::Request& request : requests)
+    framed += proto::frame(proto::encode(request));
+  send_raw(framed);
+  std::vector<proto::Response> responses;
+  responses.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i)
+    responses.push_back(read_response());
+  return responses;
+}
+
+proto::Response Client::submit(int job_id, double t, const dag::Dag& dag,
+                               std::optional<double> deadline) {
+  proto::Request request;
+  request.verb = proto::Verb::kSubmit;
+  request.job_id = job_id;
+  request.time = t;
+  request.deadline = deadline;
+  request.dag = dag;
+  return call(request);
+}
+
+proto::Response Client::status(int job_id, double t) {
+  proto::Request request;
+  request.verb = proto::Verb::kStatus;
+  request.job_id = job_id;
+  request.time = t;
+  return call(request);
+}
+
+proto::Response Client::cancel(int job_id, double t) {
+  proto::Request request;
+  request.verb = proto::Verb::kCancel;
+  request.job_id = job_id;
+  request.time = t;
+  return call(request);
+}
+
+proto::Response Client::accept_offer(int job_id, double t) {
+  proto::Request request;
+  request.verb = proto::Verb::kCounterOfferAccept;
+  request.job_id = job_id;
+  request.time = t;
+  return call(request);
+}
+
+proto::Response Client::shutdown_server() {
+  proto::Request request;
+  request.verb = proto::Verb::kShutdown;
+  return call(request);
+}
+
+}  // namespace resched::srv

@@ -1,0 +1,59 @@
+// Blocking client for the reschedd wire protocol (DESIGN.md §10).
+//
+// One Client owns one connection and issues synchronous request/response
+// round-trips; it is not thread-safe (the stress test and the bench give
+// each thread its own Client). Transport errors — refused connection, EOF
+// mid-response, corrupt frame — throw resched::Error; application-level
+// failures come back as Response{ok = false} without throwing.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/dag/dag.hpp"
+#include "src/srv/proto.hpp"
+
+namespace resched::srv {
+
+class Client {
+ public:
+  static Client connect_unix(const std::string& path);
+  static Client connect_tcp(const std::string& host, int port);
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  ~Client();
+
+  /// One framed round-trip. Throws resched::Error on transport failure.
+  proto::Response call(const proto::Request& request);
+
+  /// Pipelined burst: every request goes out in one write, then all
+  /// responses are read back in order. The server drains the whole burst
+  /// before flushing the WAL, so the batch shares one fsync — this is the
+  /// high-throughput submission path (see bench_srv_rpc).
+  std::vector<proto::Response> pipeline(
+      const std::vector<proto::Request>& requests);
+
+  // Convenience wrappers over call().
+  proto::Response submit(int job_id, double t, const dag::Dag& dag,
+                         std::optional<double> deadline = std::nullopt);
+  proto::Response status(int job_id = -1, double t = 0.0);
+  proto::Response cancel(int job_id, double t);
+  proto::Response accept_offer(int job_id, double t);
+  proto::Response shutdown_server();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  void send_raw(std::string_view framed);
+  proto::Response read_response();
+
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes received beyond the last parsed frame
+};
+
+}  // namespace resched::srv

@@ -1,0 +1,35 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for wire-frame and
+// WAL-record integrity checks. Table-driven, table built at compile time.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace resched::srv {
+
+namespace detail {
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+}  // namespace detail
+
+/// CRC-32 of `data`, optionally chaining from a previous crc32() result.
+inline std::uint32_t crc32(std::string_view data, std::uint32_t seed = 0) {
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (unsigned char byte : data)
+    c = detail::kCrc32Table[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace resched::srv

@@ -1,0 +1,205 @@
+#include "src/srv/wal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "src/obs/obs.hpp"
+#include "src/srv/crc32.hpp"
+#include "src/srv/proto.hpp"
+#include "src/util/error.hpp"
+
+namespace resched::srv {
+namespace {
+
+constexpr char kMagic[4] = {'R', 'S', 'W', 'L'};
+constexpr std::size_t kHeaderBytes = 16;   // magic + version + capacity + shards
+constexpr std::size_t kRecordHeader = 16;  // len + crc + rid
+
+void put_le32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+void put_le64(std::string& out, std::uint64_t v) {
+  put_le32(out, static_cast<std::uint32_t>(v & 0xFFFFFFFFu));
+  put_le32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t get_le32(const char* p) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+std::uint64_t get_le64(const char* p) {
+  return static_cast<std::uint64_t>(get_le32(p)) |
+         static_cast<std::uint64_t>(get_le32(p + 4)) << 32;
+}
+
+std::string encode_header(const WalHeader& header) {
+  std::string out(kMagic, sizeof kMagic);
+  put_le32(out, header.version);
+  put_le32(out, header.capacity);
+  put_le32(out, header.shards);
+  return out;
+}
+
+std::string encode_record(std::uint64_t rid, std::string_view payload) {
+  std::string body;
+  body.reserve(8 + payload.size());
+  put_le64(body, rid);
+  body.append(payload);
+  std::string out;
+  out.reserve(kRecordHeader + payload.size());
+  put_le32(out, static_cast<std::uint32_t>(payload.size()));
+  put_le32(out, crc32(body));
+  out.append(body);
+  return out;
+}
+
+}  // namespace
+
+WalScan read_wal(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  RESCHED_CHECK(in.good(), "wal: cannot open '" + path + "'");
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  RESCHED_CHECK(data.size() >= kHeaderBytes, "wal: file shorter than header");
+  RESCHED_CHECK(std::memcmp(data.data(), kMagic, sizeof kMagic) == 0,
+                "wal: bad magic");
+  WalScan scan;
+  scan.header.version = get_le32(data.data() + 4);
+  scan.header.capacity = get_le32(data.data() + 8);
+  scan.header.shards = get_le32(data.data() + 12);
+  RESCHED_CHECK(scan.header.version == 1, "wal: unsupported version");
+
+  std::size_t pos = kHeaderBytes;
+  while (true) {
+    if (data.size() - pos < kRecordHeader) break;  // partial record header
+    const std::uint32_t len = get_le32(data.data() + pos);
+    if (len > proto::kMaxPayload) break;  // garbage length — torn tail
+    if (data.size() - pos - kRecordHeader < len) break;  // partial payload
+    const std::uint32_t want_crc = get_le32(data.data() + pos + 4);
+    const std::string_view body(data.data() + pos + 8, 8 + len);
+    if (crc32(body) != want_crc) break;  // torn or corrupted tail
+    WalRecord record;
+    record.rid = get_le64(body.data());
+    record.payload.assign(body.substr(8));
+    scan.records.push_back(std::move(record));
+    pos += kRecordHeader + len;
+  }
+  scan.valid_bytes = pos;
+  scan.torn_tail = pos < data.size();
+  return scan;
+}
+
+WalWriter::~WalWriter() { close(); }
+
+void WalWriter::open(const std::string& path, const WalHeader& header,
+                     WalSync sync) {
+  RESCHED_CHECK(fd_ < 0, "wal: writer already open");
+  sync_ = sync;
+  header_bytes_ = kHeaderBytes;
+
+  bool fresh = true;
+  {
+    std::ifstream probe(path, std::ios::binary);
+    if (probe.good() && probe.peek() != std::ifstream::traits_type::eof())
+      fresh = false;
+  }
+
+  std::uint64_t resume_at = kHeaderBytes;
+  if (!fresh) {
+    const WalScan scan = read_wal(path);
+    RESCHED_CHECK(scan.header.version == header.version &&
+                      scan.header.capacity == header.capacity &&
+                      scan.header.shards == header.shards,
+                  "wal: existing log written for a different server config");
+    resume_at = scan.valid_bytes;
+  }
+
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  RESCHED_CHECK(fd_ >= 0, "wal: open('" + path +
+                              "') failed: " + std::strerror(errno));
+  if (fresh) {
+    const std::string head = encode_header(header);
+    RESCHED_CHECK(::write(fd_, head.data(), head.size()) ==
+                      static_cast<ssize_t>(head.size()),
+                  "wal: header write failed");
+  } else {
+    // Drop any torn tail so the next append lands on a record boundary.
+    RESCHED_CHECK(::ftruncate(fd_, static_cast<off_t>(resume_at)) == 0,
+                  "wal: truncating torn tail failed");
+  }
+  RESCHED_CHECK(::lseek(fd_, 0, SEEK_END) >= 0, "wal: seek failed");
+  if (sync_ != WalSync::kNone) fsync_now();
+}
+
+void WalWriter::close() {
+  if (fd_ < 0) return;
+  if (sync_ == WalSync::kBatch) fsync_now();
+  ::close(fd_);
+  fd_ = -1;
+}
+
+std::uint64_t WalWriter::append(std::uint64_t rid, std::string_view payload) {
+  RESCHED_CHECK(fd_ >= 0, "wal: writer not open");
+  RESCHED_CHECK(payload.size() <= proto::kMaxPayload, "wal: payload oversized");
+  const std::string record = encode_record(rid, payload);
+  std::uint64_t lsn = 0;
+  {
+    std::lock_guard<std::mutex> lock(append_mu_);
+    const char* p = record.data();
+    std::size_t left = record.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd_, p, left);
+      RESCHED_CHECK(n > 0, "wal: append write failed");
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    lsn = ++appended_lsn_;
+  }
+  OBS_COUNT("srv.wal.records", 1);
+  OBS_COUNT("srv.wal.bytes", record.size());
+  if (sync_ == WalSync::kAlways) sync_to(lsn);
+  return lsn;
+}
+
+void WalWriter::sync_to(std::uint64_t lsn) {
+  if (sync_ == WalSync::kNone) return;
+  std::lock_guard<std::mutex> lock(sync_mu_);
+  if (durable_lsn_ >= lsn) return;  // a concurrent fsync already covered us
+  std::uint64_t covered = 0;
+  {
+    std::lock_guard<std::mutex> append_lock(append_mu_);
+    covered = appended_lsn_;
+  }
+  fsync_now();
+  durable_lsn_ = covered;
+}
+
+void WalWriter::truncate_records() {
+  RESCHED_CHECK(fd_ >= 0, "wal: writer not open");
+  std::lock_guard<std::mutex> sync_lock(sync_mu_);
+  std::lock_guard<std::mutex> append_lock(append_mu_);
+  RESCHED_CHECK(::ftruncate(fd_, static_cast<off_t>(header_bytes_)) == 0,
+                "wal: truncate failed");
+  RESCHED_CHECK(::lseek(fd_, 0, SEEK_END) >= 0, "wal: seek failed");
+  if (sync_ != WalSync::kNone) fsync_now();
+  durable_lsn_ = appended_lsn_;
+}
+
+void WalWriter::fsync_now() {
+  RESCHED_CHECK(::fsync(fd_) == 0, "wal: fsync failed");
+  ++fsyncs_;
+  OBS_COUNT("srv.wal.fsyncs", 1);
+}
+
+}  // namespace resched::srv

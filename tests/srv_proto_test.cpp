@@ -1,0 +1,427 @@
+// Wire-protocol codec and framing tests (DESIGN.md §10, PR "reschedd").
+//
+// Pins the two properties the daemon's durability story leans on:
+//
+//   * byte-identical round-trips — encode(decode(encode(x))) == encode(x)
+//     for every message type, doubles included (format_double), so a WAL
+//     record replays as exactly the bytes the live run logged;
+//   * rejection without crashing — truncated, oversized, CRC-corrupted,
+//     and arbitrarily mutated frames all surface as clean statuses or
+//     resched::Error, never UB (a seeded mutation loop; the nightly
+//     workflow raises the budget via RESCHED_SRV_FUZZ_ITERS).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/dag/dag.hpp"
+#include "src/srv/proto.hpp"
+#include "src/util/error.hpp"
+
+namespace proto = resched::srv::proto;
+using resched::Error;
+using resched::dag::Dag;
+using resched::dag::TaskCost;
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+Dag diamond_dag() {
+  std::vector<TaskCost> costs = {{3600.0, 0.1}, {7200.0, 0.25},
+                                 {1800.0, 0.0}, {5400.0, 1.0}};
+  std::vector<std::pair<int, int>> edges = {{0, 1}, {0, 2}, {1, 3}, {2, 3}};
+  return Dag(std::move(costs), edges);
+}
+
+Dag single_task_dag() {
+  std::vector<TaskCost> costs = {{0.125, 0.5}};
+  return Dag(std::move(costs), {});
+}
+
+/// xorshift64* — deterministic across platforms, seeds pinned in the tests.
+struct Rng {
+  std::uint64_t state;
+  explicit Rng(std::uint64_t seed) : state(seed | 1) {}
+  std::uint64_t next() {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545F4914F6CDD1Dull;
+  }
+  std::size_t below(std::size_t n) { return next() % n; }
+};
+
+int fuzz_iters(int fallback) {
+  const char* env = std::getenv("RESCHED_SRV_FUZZ_ITERS");
+  if (env == nullptr) return fallback;
+  const int v = std::atoi(env);
+  return v > 0 ? v : fallback;
+}
+
+std::vector<proto::Request> sample_requests() {
+  std::vector<proto::Request> requests;
+  {
+    proto::Request r;  // best-effort submit, awkward doubles
+    r.verb = proto::Verb::kSubmit;
+    r.job_id = 7;
+    r.time = 0.1 + 0.2;  // 0.30000000000000004 — %.17g territory
+    r.dag = diamond_dag();
+    requests.push_back(r);
+  }
+  {
+    proto::Request r;  // deadline submit, single task
+    r.verb = proto::Verb::kSubmit;
+    r.job_id = -12;
+    r.time = 86400.0;
+    r.deadline = 86400.0 + 1.0 / 3.0;
+    r.dag = single_task_dag();
+    requests.push_back(r);
+  }
+  {
+    proto::Request r;
+    r.verb = proto::Verb::kStatus;
+    r.job_id = -1;
+    requests.push_back(r);
+  }
+  {
+    proto::Request r;
+    r.verb = proto::Verb::kCancel;
+    r.job_id = 3;
+    r.time = 1e-300;
+    requests.push_back(r);
+  }
+  {
+    proto::Request r;  // accept without a client-side deadline (null)
+    r.verb = proto::Verb::kCounterOfferAccept;
+    r.job_id = 3;
+    r.time = 2.5;
+    requests.push_back(r);
+  }
+  {
+    proto::Request r;  // accept with the deadline stamped (server-side form)
+    r.verb = proto::Verb::kCounterOfferAccept;
+    r.job_id = 3;
+    r.time = 2.5;
+    r.deadline = 9000.25;
+    requests.push_back(r);
+  }
+  {
+    proto::Request r;
+    r.verb = proto::Verb::kShutdown;
+    requests.push_back(r);
+  }
+  return requests;
+}
+
+std::vector<proto::Response> sample_responses() {
+  std::vector<proto::Response> responses;
+  {
+    proto::Response r;
+    r.ok = true;
+    r.job_id = 7;
+    r.state = "accepted";
+    r.offer = kNaN;
+    r.start = 100.5;
+    r.finish = 1e9 + 1.0 / 7.0;
+    r.now = 100.5;
+    responses.push_back(r);
+  }
+  {
+    proto::Response r;  // error envelope with every escape class
+    r.ok = false;
+    r.error = "bad \"dag\"\\ tab\there\nnewline\x01control";
+    r.job_id = -1;
+    r.state = "error";
+    r.offer = kNaN;
+    r.start = kNaN;
+    r.finish = kNaN;
+    r.now = 0.0;
+    responses.push_back(r);
+  }
+  {
+    proto::Response r;  // stats block
+    r.ok = true;
+    r.job_id = -1;
+    r.state = "ok";
+    r.offer = kNaN;
+    r.start = kNaN;
+    r.finish = kNaN;
+    r.now = 3600.0;
+    proto::ServerStats s;
+    s.now = 3600.0;
+    s.events = 0xFFFFFFFFull;
+    s.submitted = 10;
+    s.accepted = 7;
+    s.offered = 1;
+    s.rejected = 2;
+    s.cancelled = 3;
+    s.wal_records = 42;
+    s.shards = 4;
+    r.stats = s;
+    responses.push_back(r);
+  }
+  {
+    proto::Response r;  // offered
+    r.ok = true;
+    r.job_id = 2;
+    r.state = "offered";
+    r.offer = 6300.125;
+    r.start = kNaN;
+    r.finish = kNaN;
+    r.now = 100.0;
+    responses.push_back(r);
+  }
+  {
+    // A pristine daemon (no event processed yet) reports now = -inf, which
+    // rides the wire as null — including inside the stats block.
+    proto::Response r;
+    r.ok = true;
+    r.job_id = -1;
+    r.state = "ok";
+    r.offer = kNaN;
+    r.start = kNaN;
+    r.finish = kNaN;
+    r.now = -std::numeric_limits<double>::infinity();
+    proto::ServerStats s;
+    s.now = r.now;
+    r.stats = s;
+    responses.push_back(r);
+  }
+  return responses;
+}
+
+}  // namespace
+
+// --- codec round-trips ------------------------------------------------------
+
+TEST(SrvProto, RequestRoundTripIsByteIdentical) {
+  for (const proto::Request& request : sample_requests()) {
+    const std::string wire = proto::encode(request);
+    const proto::Request decoded = proto::decode_request(wire);
+    EXPECT_EQ(proto::encode(decoded), wire) << wire;
+    EXPECT_EQ(decoded.verb, request.verb);
+    EXPECT_EQ(decoded.job_id, request.job_id);
+    EXPECT_EQ(decoded.time, request.time);
+    EXPECT_EQ(decoded.deadline.has_value(), request.deadline.has_value());
+    if (request.deadline) {
+      EXPECT_EQ(*decoded.deadline, *request.deadline);
+    }
+    EXPECT_EQ(decoded.dag.has_value(), request.dag.has_value());
+    if (request.dag) {
+      ASSERT_TRUE(decoded.dag.has_value());
+      EXPECT_EQ(decoded.dag->size(), request.dag->size());
+      EXPECT_EQ(decoded.dag->num_edges(), request.dag->num_edges());
+      for (int i = 0; i < request.dag->size(); ++i) {
+        EXPECT_EQ(decoded.dag->cost(i).seq_time, request.dag->cost(i).seq_time);
+        EXPECT_EQ(decoded.dag->cost(i).alpha, request.dag->cost(i).alpha);
+        EXPECT_EQ(decoded.dag->successors(i), request.dag->successors(i));
+      }
+    }
+  }
+}
+
+TEST(SrvProto, ResponseRoundTripIsByteIdentical) {
+  for (const proto::Response& response : sample_responses()) {
+    const std::string wire = proto::encode(response);
+    const proto::Response decoded = proto::decode_response(wire);
+    EXPECT_EQ(proto::encode(decoded), wire) << wire;
+    EXPECT_EQ(decoded.ok, response.ok);
+    EXPECT_EQ(decoded.error, response.error);
+    EXPECT_EQ(decoded.state, response.state);
+    EXPECT_EQ(std::isnan(decoded.offer), std::isnan(response.offer));
+    EXPECT_EQ(decoded.stats.has_value(), response.stats.has_value());
+    if (response.stats) {
+      EXPECT_EQ(decoded.stats->events, response.stats->events);
+      EXPECT_EQ(decoded.stats->shards, response.stats->shards);
+    }
+  }
+}
+
+TEST(SrvProto, NanEncodesAsNullAndBack) {
+  proto::Response r;
+  r.offer = kNaN;
+  r.start = kNaN;
+  r.finish = kNaN;
+  const std::string wire = proto::encode(r);
+  EXPECT_NE(wire.find("\"offer\":null"), std::string::npos);
+  const proto::Response back = proto::decode_response(wire);
+  EXPECT_TRUE(std::isnan(back.offer));
+  EXPECT_TRUE(std::isnan(back.start));
+  EXPECT_TRUE(std::isnan(back.finish));
+}
+
+TEST(SrvProto, VerbStringsRoundTrip) {
+  for (const proto::Verb verb :
+       {proto::Verb::kSubmit, proto::Verb::kStatus, proto::Verb::kCancel,
+        proto::Verb::kCounterOfferAccept, proto::Verb::kShutdown})
+    EXPECT_EQ(proto::verb_from_string(proto::to_string(verb)), verb);
+  EXPECT_THROW(proto::verb_from_string("reboot"), Error);
+}
+
+// --- schema violations ------------------------------------------------------
+
+TEST(SrvProto, DecodeRejectsSchemaViolations) {
+  const std::vector<std::string> bad = {
+      "",                                             // empty
+      "not json",                                     // garbage
+      "[]",                                           // not an object
+      "{}",                                           // missing everything
+      R"({"verb":"submit","job":1,"t":0})",           // submit without dag
+      R"({"verb":"status","job":1})",                 // missing t
+      R"({"verb":"status","job":1,"t":0,"x":1})",     // unknown key
+      R"({"verb":"status","job":1,"t":0,"t":1})",     // duplicate key
+      R"({"verb":"status","job":1.5,"t":0})",         // non-integer id
+      R"({"verb":"status","job":1,"t":"0"})",         // wrong type
+      R"({"verb":"status","job":1,"t":0} trailing)",  // trailing bytes
+      R"({"verb":"nope","job":1,"t":0})",             // unknown verb
+      R"({"verb":"cancel","job":1,"t":null})",        // t must be a number
+      // dag with a cycle
+      R"({"verb":"submit","job":1,"t":0,"deadline":null,)"
+      R"("dag":{"costs":[[1,0],[1,0]],"edges":[[0,1],[1,0]]}})",
+      // dag with an out-of-range edge
+      R"({"verb":"submit","job":1,"t":0,"deadline":null,)"
+      R"("dag":{"costs":[[1,0]],"edges":[[0,7]]}})",
+      // dag with a non-positive cost
+      R"({"verb":"submit","job":1,"t":0,"deadline":null,)"
+      R"("dag":{"costs":[[0,0]],"edges":[]}})",
+      // dag with alpha outside [0, 1]
+      R"({"verb":"submit","job":1,"t":0,"deadline":null,)"
+      R"("dag":{"costs":[[1,2]],"edges":[]}})",
+      // empty dag
+      R"({"verb":"submit","job":1,"t":0,"deadline":null,)"
+      R"("dag":{"costs":[],"edges":[]}})",
+  };
+  for (const std::string& payload : bad)
+    EXPECT_THROW(proto::decode_request(payload), Error) << payload;
+}
+
+TEST(SrvProto, DeepNestingIsRejectedNotOverflowed) {
+  std::string deep;
+  for (int i = 0; i < 100000; ++i) deep += '[';
+  EXPECT_THROW(proto::decode_request(deep), Error);
+}
+
+// --- framing ----------------------------------------------------------------
+
+TEST(SrvFrame, RoundTrip) {
+  const std::string payload = proto::encode(sample_requests()[0]);
+  const std::string framed = proto::frame(payload);
+  EXPECT_EQ(framed.size(), proto::kFrameHeader + payload.size());
+  std::size_t consumed = 0;
+  std::string out;
+  EXPECT_EQ(proto::try_parse_frame(framed, consumed, out),
+            proto::FrameStatus::kOk);
+  EXPECT_EQ(consumed, framed.size());
+  EXPECT_EQ(out, payload);
+}
+
+TEST(SrvFrame, EveryTruncationNeedsMore) {
+  const std::string framed = proto::frame("{\"hello\":1}");
+  for (std::size_t n = 0; n < framed.size(); ++n) {
+    std::size_t consumed = 123;
+    std::string out;
+    EXPECT_EQ(proto::try_parse_frame(framed.substr(0, n), consumed, out),
+              proto::FrameStatus::kNeedMore)
+        << "prefix length " << n;
+    EXPECT_EQ(consumed, 0u);
+  }
+}
+
+TEST(SrvFrame, BackToBackFramesParseInOrder) {
+  const std::string a = proto::frame("first");
+  const std::string b = proto::frame("second");
+  std::string buffer = a + b;
+  std::size_t consumed = 0;
+  std::string out;
+  ASSERT_EQ(proto::try_parse_frame(buffer, consumed, out),
+            proto::FrameStatus::kOk);
+  EXPECT_EQ(out, "first");
+  buffer.erase(0, consumed);
+  ASSERT_EQ(proto::try_parse_frame(buffer, consumed, out),
+            proto::FrameStatus::kOk);
+  EXPECT_EQ(out, "second");
+  EXPECT_EQ(buffer.size(), consumed);
+}
+
+TEST(SrvFrame, OversizedLengthPrefixIsRejectedBeforeBuffering) {
+  std::string header;
+  const std::uint32_t len = proto::kMaxPayload + 1;
+  for (int i = 0; i < 4; ++i)
+    header.push_back(static_cast<char>((len >> (8 * i)) & 0xFF));
+  header += std::string(4, '\0');  // crc field, never inspected
+  std::size_t consumed = 0;
+  std::string out;
+  EXPECT_EQ(proto::try_parse_frame(header, consumed, out),
+            proto::FrameStatus::kOversized);
+  EXPECT_THROW(proto::frame(std::string(proto::kMaxPayload + 1, 'x')), Error);
+}
+
+TEST(SrvFrame, CorruptedCrcIsRejected) {
+  std::string framed = proto::frame("{\"hello\":1}");
+  framed[5] ^= 0x01;  // crc byte
+  std::size_t consumed = 0;
+  std::string out;
+  EXPECT_EQ(proto::try_parse_frame(framed, consumed, out),
+            proto::FrameStatus::kCorrupt);
+}
+
+// --- seeded mutation loop ---------------------------------------------------
+
+// Flip one byte anywhere in a valid frame: the parser must reject the frame
+// (CRC-32 catches every single-byte payload corruption; header corruption
+// surfaces as kNeedMore / kOversized / kCorrupt) and must never crash.
+TEST(SrvFrameFuzz, SingleByteMutationsNeverParseAsValid) {
+  const std::vector<proto::Request> requests = sample_requests();
+  const int iters = fuzz_iters(4000);
+  Rng rng(0xC0FFEE);
+  for (int i = 0; i < iters; ++i) {
+    const proto::Request& request = requests[rng.below(requests.size())];
+    std::string framed = proto::frame(proto::encode(request));
+    const std::size_t pos = rng.below(framed.size());
+    const char before = framed[static_cast<std::size_t>(pos)];
+    char after = before;
+    while (after == before)
+      after = static_cast<char>(rng.next() & 0xFF);
+    framed[pos] = after;
+
+    std::size_t consumed = 0;
+    std::string out;
+    const proto::FrameStatus status =
+        proto::try_parse_frame(framed, consumed, out);
+    EXPECT_NE(status, proto::FrameStatus::kOk)
+        << "mutation at byte " << pos << " slipped through";
+  }
+}
+
+// Arbitrary bytes through the JSON decoder: resched::Error or success,
+// never a crash. Mixes mutated real payloads with pure noise.
+TEST(SrvProtoFuzz, ArbitraryBytesNeverCrashTheDecoder) {
+  const std::vector<proto::Request> requests = sample_requests();
+  const int iters = fuzz_iters(4000);
+  Rng rng(0xDECAF);
+  for (int i = 0; i < iters; ++i) {
+    std::string payload;
+    if (rng.below(2) == 0) {
+      payload = proto::encode(requests[rng.below(requests.size())]);
+      const int flips = 1 + static_cast<int>(rng.below(8));
+      for (int f = 0; f < flips; ++f)
+        payload[rng.below(payload.size())] =
+            static_cast<char>(rng.next() & 0xFF);
+    } else {
+      payload.resize(rng.below(256));
+      for (char& c : payload) c = static_cast<char>(rng.next() & 0xFF);
+    }
+    try {
+      const proto::Request decoded = proto::decode_request(payload);
+      // Survivors must re-encode without crashing, too.
+      proto::encode(decoded);
+    } catch (const Error&) {
+      // rejected cleanly — the expected outcome for nearly every mutation
+    }
+  }
+}
