@@ -14,19 +14,27 @@ Fails (exit 1) when:
     show up as a red gate, not as silently skipped coverage);
   * any benchmark present in both files is slower than `factor` times its
     baseline real_time;
-  * a SPEEDUP_PAIRS or THROUGHPUT_BARS entry whose benchmarks exist in the
-    baseline is violated *within the current run* (machine speed cancels
-    out for pairs; bars are absolute floors). Baselines without those
-    benchmarks (e.g. the RESSCHED smoke gate) skip the bars.
+  * a SPEEDUP_PAIRS, THROUGHPUT_BARS, or COUNTER_CEILINGS entry whose
+    benchmarks exist in the baseline is violated *within the current run*
+    (machine speed cancels out for pairs; bars are absolute floors;
+    ceilings are absolute maxima for machine-independent counters such as
+    allocation counts). Baselines without those benchmarks (e.g. the
+    RESSCHED smoke gate) skip the bars.
 
-Current pairs / bars:
+Current pairs / bars / ceilings:
 
   * indexed calendar — indexed earliest_fit at 10k reservations beats the
     linear oracle by >= 5x;
   * sharded service  — a 4-shard replay sustains >= 2x the events/sec of
     the 1-shard replay of the same stream (DESIGN.md §9 acceptance bar);
   * reschedd RPC     — pipelined submits over a unix socket sustain
-    >= 10k RPCs/sec with a durable WAL (DESIGN.md §10 acceptance bar).
+    >= 10k RPCs/sec with a durable WAL (DESIGN.md §10 acceptance bar);
+  * hot-path layout  — the small-profile flat scan beats the treap at the
+    128-breakpoint crossover; the RESSCHED sweep at Table-4 scale sustains
+    >= 565 jobs/sec (2x the pre-PR 282 jobs/sec measurement); heap
+    allocations per RESSCHED job stay under the ceiling and the treap-node
+    arena performs zero chunk allocations in steady-state churn
+    (DESIGN.md §11 acceptance bars).
 
 --self-test runs the checker against synthetic in-memory fixtures and
 exits 0 iff every failure mode actually fails (wired into the lint CI
@@ -43,12 +51,26 @@ SPEEDUP_PAIRS = [
      "earliest_fit speedup over the linear oracle at 10k"),
     ("BM_ShardReplay/1/real_time", "BM_ShardReplay/4/real_time", 2.0,
      "4-shard replay speedup over 1 shard"),
+    ("BM_FitTreap/64", "BM_FitFlat/64", 1.05,
+     "small-profile flat fast path at the 128-breakpoint crossover"),
 ]
 
 # (benchmark, counter, required minimum counter value, label)
 THROUGHPUT_BARS = [
     ("BM_SubmitPipelined/8/real_time", "rpc_per_sec", 10000.0,
      "reschedd pipelined submit throughput (DESIGN.md §10 bar)"),
+    ("BM_ResschedSweep", "jobs_per_sec", 565.0,
+     "RESSCHED sweep at Table-4 scale (2x the pre-PR 282 jobs/sec)"),
+]
+
+# (benchmark, counter, maximum allowed counter value, label)
+# Ceilings gate machine-independent counters — allocation counts, not
+# times — so they hold exactly on any runner.
+COUNTER_CEILINGS = [
+    ("BM_ResschedSweep", "allocs_per_job", 64.0,
+     "heap allocations per RESSCHED job (arena/SoA/scratch-buffer gate)"),
+    ("BM_ChurnSteadyState", "arena_chunk_allocs", 0.0,
+     "treap-node arena chunk allocations in steady-state churn"),
 ]
 
 # google-benchmark JSON keys that are not user counters.
@@ -134,6 +156,19 @@ def compare(baseline, current, factor):
             failures.append(f"{label}: {value:.0f} below the"
                             f" {minimum:.0f} floor")
 
+    for name, counter, maximum, label in COUNTER_CEILINGS:
+        if name not in baseline:
+            continue
+        value = current.get(name, {}).get("counters", {}).get(counter)
+        if value is None:
+            failures.append(f"{label}: {name} counter '{counter}' missing"
+                            f" from the current run")
+            continue
+        lines.append(f"{label}: {value:.0f} (required <= {maximum:.0f})")
+        if value > maximum:
+            failures.append(f"{label}: {value:.0f} above the"
+                            f" {maximum:.0f} ceiling")
+
     return lines, failures
 
 
@@ -147,10 +182,14 @@ def self_test():
     base = parse({"benchmarks": [
         bench("BM_X/1", 100.0, widgets_per_sec=50.0),
         bench("BM_SubmitPipelined/8/real_time", 100.0, rpc_per_sec=20000.0),
+        bench("BM_ResschedSweep", 100.0, jobs_per_sec=800.0,
+              allocs_per_job=13.0),
     ]})
     good = parse({"benchmarks": [
         bench("BM_X/1", 110.0, widgets_per_sec=48.0),
         bench("BM_SubmitPipelined/8/real_time", 90.0, rpc_per_sec=15000.0),
+        bench("BM_ResschedSweep", 95.0, jobs_per_sec=700.0,
+              allocs_per_job=15.0),
     ]})
 
     cases = []  # (label, baseline, current, expect_failure)
@@ -174,6 +213,12 @@ def self_test():
     under_bar["BM_SubmitPipelined/8/real_time"]["counters"][
         "rpc_per_sec"] = 5000.0
     cases.append(("throughput below the bar fails", base, under_bar, True))
+    over_ceiling = {name: {"real_time": value["real_time"],
+                           "counters": dict(value["counters"])}
+                    for name, value in good.items()}
+    over_ceiling["BM_ResschedSweep"]["counters"]["allocs_per_job"] = 500.0
+    cases.append(("counter above the ceiling fails", base, over_ceiling,
+                  True))
 
     broken = 0
     for label, b, c, expect_failure in cases:

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Gates line coverage against the checked-in floor.
+
+Usage: check_coverage.py SUMMARY.json [--baseline scripts/COVERAGE_BASELINE]
+       check_coverage.py --self-test
+
+SUMMARY.json is `llvm-cov export -summary-only` output (the coverage CI
+leg produces it from the clang-instrumented test run). The baseline file
+holds a single number: the line-coverage floor in percent. The gate fails
+when the measured percentage drops below the floor.
+
+The floor is a ratchet, not a mirror of the current number: when coverage
+rises, raise the floor in the same PR that earned it (leave a small margin
+— llvm-cov percentages shift a few tenths across clang versions). Lowering
+the floor needs the same justification as deleting a test.
+
+--self-test exercises the gate against synthetic fixtures and exits 0 iff
+the failure modes actually fail (wired into the lint CI job next to the
+bench-gate self-test).
+"""
+
+import argparse
+import json
+import sys
+
+
+def read_floor(path):
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if line and not line.startswith("#"):
+                return float(line)
+    raise ValueError(f"{path}: no floor value found")
+
+
+def line_percent(summary):
+    """Extracts totals.lines.percent from llvm-cov export JSON."""
+    totals = summary["data"][0]["totals"]
+    return float(totals["lines"]["percent"])
+
+
+def check(percent, floor):
+    """Returns (report_line, failed)."""
+    verdict = "FAIL" if percent < floor else "ok"
+    line = (f"{verdict:4} line coverage {percent:.2f}%"
+            f" (floor {floor:.2f}%)")
+    return line, percent < floor
+
+
+def self_test():
+    fixture = {"data": [{"totals": {"lines": {"percent": 81.25}}}]}
+    cases = [
+        ("above the floor passes", 80.0, False),
+        ("exactly at the floor passes", 81.25, False),
+        ("below the floor fails", 85.0, True),
+    ]
+    broken = 0
+    for label, floor, expect_failure in cases:
+        _, failed = check(line_percent(fixture), floor)
+        ok = failed == expect_failure
+        print(f"{'ok' if ok else 'SELF-TEST BROKEN':16} {label}")
+        if not ok:
+            broken += 1
+    if broken:
+        print(f"\nself-test FAILED: {broken} case(s) misbehaved",
+              file=sys.stderr)
+        return 1
+    print("\nself-test passed")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("summary", nargs="?")
+    ap.add_argument("--baseline", default="scripts/COVERAGE_BASELINE")
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.summary:
+        ap.error("SUMMARY.json is required unless --self-test")
+
+    with open(args.summary) as f:
+        percent = line_percent(json.load(f))
+    floor = read_floor(args.baseline)
+    line, failed = check(percent, floor)
+    print(line)
+    if failed:
+        print(f"\ncoverage gate FAILED: {percent:.2f}% is below the"
+              f" {floor:.2f}% floor ({args.baseline})", file=sys.stderr)
+        return 1
+    if percent >= floor + 3.0:
+        print(f"note: coverage is {percent - floor:.1f} points above the"
+              f" floor — consider ratcheting {args.baseline} up")
+    print("\ncoverage gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

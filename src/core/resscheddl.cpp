@@ -15,30 +15,40 @@ struct PairChoice {
   double start = 0.0;
 };
 
+/// Query/fit buffers threaded through a whole backward pass so the
+/// per-task batches reuse capacity instead of allocating twice per task
+/// per pass (the λ ladder runs dozens of passes per admission).
+struct FitScratch {
+  std::vector<resv::FitQuery> queries;
+  std::vector<std::optional<double>> fits;
+};
+
 /// Latest-start choice (aggressive step): maximize the start time over
 /// np in [1, bound], ties to fewer processors. Scans np downward: the start
 /// of any fit at np is capped by dl − exec(np), which only shrinks as np
 /// does, so once that cap falls below the incumbent the rest is dominated.
 std::optional<PairChoice> latest_pair(const resv::AvailabilityProfile& profile,
                                       const dag::TaskCost& cost, int bound,
-                                      double dl, double now) {
+                                      double dl, double now,
+                                      FitScratch& scratch) {
   // Batched through the indexed calendar; the dominance break still governs
   // which results are consumed. A fit past the break starts at or before
   // dl − exec(np) < best->start (strictly), so it can never displace the
   // incumbent and the batch selects exactly what the scan did.
-  std::vector<resv::FitQuery> queries;
+  auto& queries = scratch.queries;
+  queries.clear();
   queries.reserve(static_cast<std::size_t>(bound));
   for (int np = bound; np >= 1; --np)
     queries.push_back(
         resv::FitQuery::latest(np, dag::exec_time(cost, np), dl, now));
-  auto fits = profile.fit_many(queries);
+  profile.fit_many_into(queries, scratch.fits);
 
   std::optional<PairChoice> best;
   for (std::size_t qi = 0; qi < queries.size(); ++qi) {
     const int np = queries[qi].procs;
     const double exec = queries[qi].duration;
     if (best && dl - exec < best->start) break;
-    const std::optional<double>& start = fits[qi];
+    const std::optional<double>& start = scratch.fits[qi];
     if (!start) continue;
     if (!best || *start > best->start ||
         (*start == best->start && np < best->np))
@@ -55,19 +65,20 @@ std::optional<PairChoice> latest_pair(const resv::AvailabilityProfile& profile,
 /// without a calendar scan.
 std::optional<PairChoice> conservative_pair(
     const resv::AvailabilityProfile& profile, const dag::TaskCost& cost,
-    int max_np, double dl, double now, double threshold) {
+    int max_np, double dl, double now, double threshold, FitScratch& scratch) {
   if (threshold >= dl) return std::nullopt;
-  std::vector<resv::FitQuery> queries;
+  auto& queries = scratch.queries;
+  queries.clear();
   queries.reserve(static_cast<std::size_t>(max_np));
   for (int np = 1; np <= max_np; ++np) {
     double exec = dag::exec_time(cost, np);
     if (dl - exec < threshold) continue;  // even an empty calendar can't
     queries.push_back(resv::FitQuery::latest(np, exec, dl, now));
   }
-  auto fits = profile.fit_many(queries);
+  profile.fit_many_into(queries, scratch.fits);
   for (std::size_t qi = 0; qi < queries.size(); ++qi)
-    if (fits[qi] && *fits[qi] >= threshold)
-      return PairChoice{queries[qi].procs, *fits[qi]};
+    if (scratch.fits[qi] && *scratch.fits[qi] >= threshold)
+      return PairChoice{queries[qi].procs, *scratch.fits[qi]};
   return std::nullopt;
 }
 
@@ -92,6 +103,7 @@ std::optional<AppSchedule> backward_pass(
   AppSchedule sched;
   sched.tasks.resize(static_cast<std::size_t>(dag.size()));
   std::vector<bool> placed(static_cast<std::size_t>(dag.size()), false);
+  FitScratch scratch;
 
   for (int task : order) {
     auto ti = static_cast<std::size_t>(task);
@@ -107,10 +119,11 @@ std::optional<AppSchedule> backward_pass(
       double s_i = now + stretch * (*guideline_rel)[ti];
       double threshold = s_i + lambda * (dl - s_i);
       choice = conservative_pair(profile, dag.cost(task), p, dl, now,
-                                 threshold);
+                                 threshold, scratch);
     }
     if (!choice)  // aggressive mode, or conservative found no pair
-      choice = latest_pair(profile, dag.cost(task), aggr_bound[ti], dl, now);
+      choice = latest_pair(profile, dag.cost(task), aggr_bound[ti], dl, now,
+                           scratch);
     if (!choice) return std::nullopt;  // deadline cannot be met
 
     // Floating-point guard: a latest-fit placement abuts its deadline, and

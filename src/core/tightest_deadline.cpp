@@ -7,18 +7,38 @@
 
 namespace resched::core {
 
+void finish_floor_queries(const dag::Dag& dag, int capacity, double now,
+                          std::vector<resv::FitQuery>& queries) {
+  queries.clear();
+  queries.reserve(static_cast<std::size_t>(dag.size()));
+  for (int task = 0; task < dag.size(); ++task) {
+    // exec_time is weakly decreasing in np — dividing and adding positive
+    // terms are monotone under IEEE rounding — so the minimum over np in
+    // [1, capacity] is exactly exec_time at full capacity: the same double
+    // the old O(P) min scan produced, without the scan.
+    double emin = dag::exec_time(dag.cost(task), capacity);
+    queries.push_back(resv::FitQuery::earliest(1, emin, now));
+  }
+}
+
+double evaluate_finish_floor(std::span<const resv::FitQuery> queries,
+                             const resv::CalendarSnapshot& calendar,
+                             double now) {
+  double floor = now;
+  for (const resv::FitQuery& q : queries) {
+    auto fit = calendar.earliest_fit(q.procs, q.duration, q.not_before);
+    RESCHED_ASSERT(fit.has_value(), "1-processor fit must always exist");
+    floor = std::max(floor, *fit + q.duration);
+  }
+  return floor;
+}
+
 double earliest_finish_floor(const dag::Dag& dag,
                              const resv::AvailabilityProfile& competing,
                              double now) {
   OBS_SPAN("core.tightest.finish_floor");
   std::vector<resv::FitQuery> queries;
-  queries.reserve(static_cast<std::size_t>(dag.size()));
-  for (int task = 0; task < dag.size(); ++task) {
-    double emin = dag::exec_time(dag.cost(task), 1);
-    for (int np = 2; np <= competing.capacity(); ++np)
-      emin = std::min(emin, dag::exec_time(dag.cost(task), np));
-    queries.push_back(resv::FitQuery::earliest(1, emin, now));
-  }
+  finish_floor_queries(dag, competing.capacity(), now, queries);
   auto fits = competing.fit_many(queries);
   double floor = now;
   for (std::size_t i = 0; i < queries.size(); ++i) {

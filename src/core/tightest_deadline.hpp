@@ -7,8 +7,12 @@
 // brackets a feasible K, and bisection narrows the bracket to tolerance.
 #pragma once
 
+#include <span>
+#include <vector>
+
 #include "src/core/resscheddl.hpp"
 #include "src/core/ressched.hpp"
+#include "src/resv/snapshot.hpp"
 
 namespace resched::core {
 
@@ -32,6 +36,21 @@ struct TightestDeadlineResult {
 /// finish can be met. One batched earliest-fit query per task (fit_many).
 double earliest_finish_floor(const dag::Dag& dag,
                              const resv::AvailabilityProfile& competing,
+                             double now);
+
+/// The per-task queries behind earliest_finish_floor, split out so callers
+/// that evaluate the same job against many calendars (the shard router's
+/// spillover probes) build them once. The buffer is cleared first and
+/// keeps its capacity. Queries depend only on the DAG, the platform
+/// capacity, and `now` — never on a calendar.
+void finish_floor_queries(const dag::Dag& dag, int capacity, double now,
+                          std::vector<resv::FitQuery>& queries);
+
+/// Floor value of prebuilt finish_floor_queries against one frozen
+/// calendar; byte-identical to earliest_finish_floor on the snapshot's
+/// source profile. The snapshot must be fresh (refresh() it first).
+double evaluate_finish_floor(std::span<const resv::FitQuery> queries,
+                             const resv::CalendarSnapshot& calendar,
                              double now);
 
 /// Finds the tightest deadline `params.algo` can meet at time `now`.

@@ -33,21 +33,37 @@ std::vector<int> allocations(const dag::Dag& dag, int q,
   double t_a = area / static_cast<double>(q);
 
   // Each iteration adds one processor to one task, so the loop is bounded
-  // by n * (q - 1) even if T_CP never dips below T_A.
+  // by n * (q - 1) even if T_CP never dips below T_A. The exec/bottom/top
+  // sweeps reuse scratch buffers across iterations — this loop was the
+  // measured #1 hot spot of the online engine (it dominated
+  // core.resscheddl.context) and previously recomputed bottom levels three
+  // times per iteration through critical_path_tasks.
+  // Only the chosen task's allocation changes per iteration, so the exec
+  // vector is maintained incrementally: one exec_time call per grant
+  // instead of a full O(n) recompute (same formula, same inputs — the
+  // values are the ones exec_times_into would produce).
+  std::vector<double> exec, bl, tl;
+  dag::exec_times_into(dag, alloc, exec);
   while (true) {
-    auto bl = dag::bottom_levels(dag, alloc);
+    dag::bottom_levels_into(dag, exec, bl);
     double t_cp = *std::max_element(bl.begin(), bl.end());
     if (t_cp <= t_a) break;
 
     // Candidate: critical-path task with the largest relative execution-time
     // reduction from one extra processor; ties go to the longer bottom level
-    // (the more schedule-critical task).
+    // (the more schedule-critical task). Membership is inlined from
+    // dag::critical_path_tasks — same tolerance arithmetic, same
+    // topological visiting order (t_cp is the same max-element of the same
+    // bottom levels it would recompute) — so the selection is unchanged.
+    dag::top_levels_into(dag, exec, tl);
+    double tol = 1e-9 * std::max(1.0, t_cp);
     int best = -1;
     double best_gain = 0.0;
-    for (int v : dag::critical_path_tasks(dag, alloc)) {
+    for (int v : dag.topological_order()) {
       auto vi = static_cast<std::size_t>(v);
+      if (tl[vi] + bl[vi] < t_cp - tol) continue;  // off every critical path
       if (alloc[vi] >= cap[vi]) continue;
-      double cur = dag::exec_time(dag.cost(v), alloc[vi]);
+      double cur = exec[vi];  // == dag::exec_time(dag.cost(v), alloc[vi])
       double nxt = dag::exec_time(dag.cost(v), alloc[vi] + 1);
       double gain = cur <= 0.0 ? 0.0 : (cur - nxt) / cur;
       if (best < 0 || gain > best_gain ||
@@ -63,6 +79,7 @@ std::vector<int> allocations(const dag::Dag& dag, int q,
             dag::work(dag.cost(best), alloc[bi])) /
            static_cast<double>(q);
     ++alloc[bi];
+    exec[bi] = dag::exec_time(dag.cost(best), alloc[bi]);
   }
   return alloc;
 }

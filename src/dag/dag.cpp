@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cstddef>
-#include <set>
+#include <numeric>
 
 #include "src/util/error.hpp"
 
@@ -13,25 +13,51 @@ Dag::Dag(std::vector<TaskCost> costs,
     : costs_(std::move(costs)) {
   const int n = size();
   RESCHED_CHECK(n > 0, "DAG must contain at least one task");
-  preds_.resize(static_cast<std::size_t>(n));
-  succs_.resize(static_cast<std::size_t>(n));
-
-  std::set<std::pair<int, int>> seen;
   for (auto [from, to] : edges) {
     RESCHED_CHECK(from >= 0 && from < n && to >= 0 && to < n,
                   "edge endpoint out of range");
     RESCHED_CHECK(from != to, "self-loop edge");
-    RESCHED_CHECK(seen.insert({from, to}).second, "duplicate edge");
-    succs_[static_cast<std::size_t>(from)].push_back(to);
-    preds_[static_cast<std::size_t>(to)].push_back(from);
-    ++num_edges_;
+  }
+  num_edges_ = static_cast<int>(edges.size());
+
+  // CSR adjacency via counting sort over the edge list. Filling in input
+  // order keeps each vertex's list in the same order push_back produced
+  // before the SoA rewrite, so every downstream sweep sees identical
+  // iteration order.
+  pred_off_.assign(static_cast<std::size_t>(n) + 1, 0);
+  succ_off_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (auto [from, to] : edges) {
+    ++succ_off_[static_cast<std::size_t>(from) + 1];
+    ++pred_off_[static_cast<std::size_t>(to) + 1];
+  }
+  std::partial_sum(pred_off_.begin(), pred_off_.end(), pred_off_.begin());
+  std::partial_sum(succ_off_.begin(), succ_off_.end(), succ_off_.begin());
+  pred_flat_.resize(edges.size());
+  succ_flat_.resize(edges.size());
+  std::vector<int> pred_cursor(pred_off_.begin(), pred_off_.end() - 1);
+  std::vector<int> succ_cursor(succ_off_.begin(), succ_off_.end() - 1);
+  for (auto [from, to] : edges) {
+    succ_flat_[static_cast<std::size_t>(
+        succ_cursor[static_cast<std::size_t>(from)]++)] = to;
+    pred_flat_[static_cast<std::size_t>(
+        pred_cursor[static_cast<std::size_t>(to)]++)] = from;
+  }
+
+  // Duplicate-edge detection with a stamp array: O(V + E), no set churn.
+  std::vector<int> stamp(static_cast<std::size_t>(n), -1);
+  for (int v = 0; v < n; ++v) {
+    for (int s : successors(v)) {
+      RESCHED_CHECK(stamp[static_cast<std::size_t>(s)] != v, "duplicate edge");
+      stamp[static_cast<std::size_t>(s)] = v;
+    }
   }
 
   // Kahn's algorithm: topological order + cycle detection.
   std::vector<int> indeg(static_cast<std::size_t>(n), 0);
   for (int v = 0; v < n; ++v)
     indeg[static_cast<std::size_t>(v)] =
-        static_cast<int>(preds_[static_cast<std::size_t>(v)].size());
+        pred_off_[static_cast<std::size_t>(v) + 1] -
+        pred_off_[static_cast<std::size_t>(v)];
   std::vector<int> ready;
   for (int v = 0; v < n; ++v)
     if (indeg[static_cast<std::size_t>(v)] == 0) ready.push_back(v);
@@ -39,20 +65,23 @@ Dag::Dag(std::vector<TaskCost> costs,
   for (std::size_t head = 0; head < ready.size(); ++head) {
     int v = ready[head];
     topo_.push_back(v);
-    for (int s : succs_[static_cast<std::size_t>(v)])
+    for (int s : successors(v))
       if (--indeg[static_cast<std::size_t>(s)] == 0) ready.push_back(s);
   }
   RESCHED_CHECK(static_cast<int>(topo_.size()) == n, "graph contains a cycle");
+  topo_rank_.resize(static_cast<std::size_t>(n));
+  for (std::size_t r = 0; r < topo_.size(); ++r)
+    topo_rank_[static_cast<std::size_t>(topo_[r])] = static_cast<int>(r);
 
   for (int v = 0; v < n; ++v) {
-    if (preds_[static_cast<std::size_t>(v)].empty()) entries_.push_back(v);
-    if (succs_[static_cast<std::size_t>(v)].empty()) exits_.push_back(v);
+    if (predecessors(v).empty()) entries_.push_back(v);
+    if (successors(v).empty()) exits_.push_back(v);
   }
 
   // Longest-path levels in topological order.
   levels_.assign(static_cast<std::size_t>(n), 0);
   for (int v : topo_)
-    for (int s : succs_[static_cast<std::size_t>(v)])
+    for (int s : successors(v))
       levels_[static_cast<std::size_t>(s)] =
           std::max(levels_[static_cast<std::size_t>(s)],
                    levels_[static_cast<std::size_t>(v)] + 1);
@@ -60,6 +89,14 @@ Dag::Dag(std::vector<TaskCost> costs,
   std::vector<int> width(static_cast<std::size_t>(num_levels_), 0);
   for (int lvl : levels_) ++width[static_cast<std::size_t>(lvl)];
   max_width_ = *std::max_element(width.begin(), width.end());
+
+  // SoA mirrors of the cost parameters for the streaming sweeps.
+  seq_times_.resize(static_cast<std::size_t>(n));
+  alphas_.resize(static_cast<std::size_t>(n));
+  for (std::size_t v = 0; v < costs_.size(); ++v) {
+    seq_times_[v] = costs_[v].seq_time;
+    alphas_[v] = costs_[v].alpha;
+  }
 }
 
 std::size_t Dag::checked(int task) const {
@@ -67,21 +104,26 @@ std::size_t Dag::checked(int task) const {
   return static_cast<std::size_t>(task);
 }
 
-namespace {
-std::vector<double> exec_times(const Dag& dag, std::span<const int> alloc) {
+void exec_times_into(const Dag& dag, std::span<const int> alloc,
+                     std::vector<double>& exec) {
   RESCHED_CHECK(static_cast<int>(alloc.size()) == dag.size(),
                 "allocation vector size must match DAG size");
-  std::vector<double> exec(alloc.size());
-  for (int v = 0; v < dag.size(); ++v)
-    exec[static_cast<std::size_t>(v)] =
-        exec_time(dag.cost(v), alloc[static_cast<std::size_t>(v)]);
-  return exec;
+  const std::span<const double> seq = dag.seq_times();
+  const std::span<const double> alpha = dag.alphas();
+  exec.resize(alloc.size());
+  for (std::size_t v = 0; v < alloc.size(); ++v) {
+    RESCHED_CHECK(alloc[v] >= 1, "task needs at least one processor");
+    // Expression-for-expression dag::exec_time, streamed off the SoA arrays.
+    exec[v] =
+        seq[v] * (alpha[v] + (1.0 - alpha[v]) / static_cast<double>(alloc[v]));
+  }
 }
-}  // namespace
 
-std::vector<double> bottom_levels(const Dag& dag, std::span<const int> alloc) {
-  auto exec = exec_times(dag, alloc);
-  std::vector<double> bl(exec.size(), 0.0);
+void bottom_levels_into(const Dag& dag, std::span<const double> exec,
+                        std::vector<double>& bl) {
+  RESCHED_CHECK(static_cast<int>(exec.size()) == dag.size(),
+                "exec-time vector size must match DAG size");
+  bl.assign(exec.size(), 0.0);
   const auto& topo = dag.topological_order();
   for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
     int v = *it;
@@ -90,18 +132,34 @@ std::vector<double> bottom_levels(const Dag& dag, std::span<const int> alloc) {
       best = std::max(best, bl[static_cast<std::size_t>(s)]);
     bl[static_cast<std::size_t>(v)] = exec[static_cast<std::size_t>(v)] + best;
   }
-  return bl;
 }
 
-std::vector<double> top_levels(const Dag& dag, std::span<const int> alloc) {
-  auto exec = exec_times(dag, alloc);
-  std::vector<double> tl(exec.size(), 0.0);
+void top_levels_into(const Dag& dag, std::span<const double> exec,
+                     std::vector<double>& tl) {
+  RESCHED_CHECK(static_cast<int>(exec.size()) == dag.size(),
+                "exec-time vector size must match DAG size");
+  tl.assign(exec.size(), 0.0);
   for (int v : dag.topological_order())
     for (int s : dag.successors(v))
       tl[static_cast<std::size_t>(s)] =
           std::max(tl[static_cast<std::size_t>(s)],
                    tl[static_cast<std::size_t>(v)] +
                        exec[static_cast<std::size_t>(v)]);
+}
+
+std::vector<double> bottom_levels(const Dag& dag, std::span<const int> alloc) {
+  std::vector<double> exec;
+  exec_times_into(dag, alloc, exec);
+  std::vector<double> bl;
+  bottom_levels_into(dag, exec, bl);
+  return bl;
+}
+
+std::vector<double> top_levels(const Dag& dag, std::span<const int> alloc) {
+  std::vector<double> exec;
+  exec_times_into(dag, alloc, exec);
+  std::vector<double> tl;
+  top_levels_into(dag, exec, tl);
   return tl;
 }
 
@@ -173,11 +231,9 @@ std::vector<int> order_by_decreasing(const Dag& dag,
                                      std::span<const double> key) {
   RESCHED_CHECK(static_cast<int>(key.size()) == dag.size(),
                 "key vector size must match DAG size");
-  // Rank in topological order so equal keys keep precedence order.
-  std::vector<int> topo_rank(key.size());
-  const auto& topo = dag.topological_order();
-  for (std::size_t r = 0; r < topo.size(); ++r)
-    topo_rank[static_cast<std::size_t>(topo[r])] = static_cast<int>(r);
+  // Rank in topological order (precomputed by the Dag) so equal keys keep
+  // precedence order.
+  const std::span<const int> topo_rank = dag.topo_rank();
   std::vector<int> order(key.size());
   for (std::size_t v = 0; v < key.size(); ++v) order[v] = static_cast<int>(v);
   std::sort(order.begin(), order.end(), [&](int a, int b) {

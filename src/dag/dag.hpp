@@ -4,6 +4,14 @@
 // Construction validates acyclicity; accessors expose predecessor/successor
 // lists, a topological order, longest-path levels, and the level-based and
 // cost-based quantities (top/bottom levels) the schedulers build on.
+//
+// Storage is structure-of-arrays (DESIGN.md §11): adjacency lives in two
+// CSR arrays (offsets + flat endpoints, per-vertex order identical to the
+// edge input order), and the cost parameters are mirrored into parallel
+// seq_times()/alphas() arrays so the bottom-level and allocation sweeps —
+// the measured top hot spots — stream contiguous memory instead of chasing
+// a vector-of-vectors. The graph is immutable, so the mirrors can never
+// drift from cost().
 #pragma once
 
 #include <span>
@@ -26,15 +34,24 @@ class Dag {
   int num_edges() const { return num_edges_; }
 
   const TaskCost& cost(int task) const { return costs_.at(checked(task)); }
-  const std::vector<int>& predecessors(int task) const {
-    return preds_.at(checked(task));
+  std::span<const int> predecessors(int task) const {
+    return adjacency(pred_off_, pred_flat_, checked(task));
   }
-  const std::vector<int>& successors(int task) const {
-    return succs_.at(checked(task));
+  std::span<const int> successors(int task) const {
+    return adjacency(succ_off_, succ_flat_, checked(task));
   }
+
+  /// SoA mirrors of cost(v).seq_time / cost(v).alpha, indexed by task — the
+  /// streaming inputs of exec-time, bottom-level and top-level sweeps.
+  std::span<const double> seq_times() const { return seq_times_; }
+  std::span<const double> alphas() const { return alphas_; }
 
   /// A fixed topological order (parents before children).
   const std::vector<int>& topological_order() const { return topo_; }
+
+  /// topo_rank()[v] = position of task v in topological_order(); the
+  /// precedence-respecting tie-break key (see order_by_decreasing).
+  std::span<const int> topo_rank() const { return topo_rank_; }
 
   /// Tasks with no predecessors / successors.
   const std::vector<int>& entries() const { return entries_; }
@@ -54,10 +71,24 @@ class Dag {
  private:
   std::size_t checked(int task) const;
 
+  static std::span<const int> adjacency(const std::vector<int>& off,
+                                        const std::vector<int>& flat,
+                                        std::size_t task) {
+    return std::span<const int>(flat).subspan(
+        static_cast<std::size_t>(off[task]),
+        static_cast<std::size_t>(off[task + 1] - off[task]));
+  }
+
   std::vector<TaskCost> costs_;
-  std::vector<std::vector<int>> preds_;
-  std::vector<std::vector<int>> succs_;
+  std::vector<double> seq_times_;  // SoA mirror of costs_[v].seq_time
+  std::vector<double> alphas_;     // SoA mirror of costs_[v].alpha
+  // CSR adjacency: task v's lists are flat[off[v], off[v+1]).
+  std::vector<int> pred_off_;
+  std::vector<int> pred_flat_;
+  std::vector<int> succ_off_;
+  std::vector<int> succ_flat_;
   std::vector<int> topo_;
+  std::vector<int> topo_rank_;
   std::vector<int> entries_;
   std::vector<int> exits_;
   std::vector<int> levels_;
@@ -65,6 +96,23 @@ class Dag {
   int max_width_ = 0;
   int num_edges_ = 0;
 };
+
+/// exec_time(dag.cost(v), alloc[v]) for every task, streamed off the SoA
+/// arrays into a caller-owned buffer (resized; capacity reused). The
+/// arithmetic is expression-for-expression dag::exec_time, so results are
+/// byte-identical to calling it per task.
+void exec_times_into(const Dag& dag, std::span<const int> alloc,
+                     std::vector<double>& exec);
+
+/// Bottom levels given precomputed per-task exec times (the reverse
+/// topological sweep only). `exec` must come from exec_times_into (or
+/// equivalent) for the same allocation.
+void bottom_levels_into(const Dag& dag, std::span<const double> exec,
+                        std::vector<double>& bl);
+
+/// Top levels given precomputed per-task exec times (the forward sweep).
+void top_levels_into(const Dag& dag, std::span<const double> exec,
+                     std::vector<double>& tl);
 
 /// Bottom level of every task: exec time of the task plus the longest
 /// downstream path, where task i runs on alloc[i] processors.

@@ -340,14 +340,20 @@ void SchedulerService::schedule_job(const JobSubmission& job, double t,
     return;
   }
 
-  // Batched admission pre-filter: one earliest-fit query per task (through
-  // fit_many inside earliest_finish_floor) lower-bounds every task's finish
-  // on the live calendar. A requested deadline below the floor is provably
-  // unmeetable, so the full backward pass is skipped and the submission
-  // goes straight to rejection or counter-offer — exactly where the failed
-  // pass would have sent it.
+  // Batched admission pre-filter: one earliest-fit query per task against
+  // the frozen calendar lower-bounds every task's finish. A requested
+  // deadline below the floor is provably unmeetable, so the full backward
+  // pass is skipped and the submission goes straight to rejection or
+  // counter-offer — exactly where the failed pass would have sent it. The
+  // snapshot refresh is an epoch compare when nothing was admitted or
+  // released since the previous probe, so back-to-back rejected deadline
+  // jobs never re-freeze the calendar.
+  core::finish_floor_queries(job.dag, profile_->capacity(), t,
+                             floor_queries_);
+  floor_snapshot_.refresh(*profile_);
   core::DeadlineResult dl;
-  if (*job.deadline >= core::earliest_finish_floor(job.dag, *profile_, t))
+  if (*job.deadline >=
+      core::evaluate_finish_floor(floor_queries_, floor_snapshot_, t))
     dl = core::schedule_deadline(job.dag, *profile_, t, q_hist, *job.deadline,
                                  config_.deadline);
   if (dl.feasible) {

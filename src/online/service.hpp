@@ -314,6 +314,11 @@ class SchedulerService {
   std::uint64_t stale_events_ = 0;
   std::uint64_t events_processed_ = 0;
   bool ft_active_ = false;
+  /// Admission pre-filter scratch: the calendar frozen for floor probes
+  /// (rebuilt only when the calendar mutated since the previous deadline
+  /// admission) and the per-task query buffer, both reused across jobs.
+  resv::CalendarSnapshot floor_snapshot_;
+  std::vector<resv::FitQuery> floor_queries_;
 };
 
 }  // namespace resched::online

@@ -22,23 +22,8 @@ std::uint64_t splitmix(std::uint64_t& state) {
 }
 }  // namespace
 
-struct StepIndex::Node {
-  double key;
-  std::uint64_t prio;
-  int value;    // segment value; stale by the sum of ancestors' pending
-  int min_val;  // subtree aggregates, same staleness convention
-  int max_val;
-  double min_key;  // leftmost key in subtree (lazy-independent)
-  int pending = 0;
-  Node* l = nullptr;
-  Node* r = nullptr;
-
-  Node(double k, int v, std::uint64_t p)
-      : key(k), prio(p), value(v), min_val(v), max_val(v), min_key(k) {}
-};
-
 StepIndex::StepIndex(int base_value) : prio_state_(0x5eedc0ffee15900dULL) {
-  root_ = new Node(kNegInf, base_value, next_prio());
+  root_ = pool_.create(kNegInf, base_value, next_prio());
   size_ = 1;
 }
 
@@ -49,7 +34,10 @@ StepIndex::StepIndex(const StepIndex& other)
 
 StepIndex& StepIndex::operator=(const StepIndex& other) {
   if (this == &other) return *this;
-  destroy(root_);
+  // Nodes are trivially destructible: dropping the arena wholesale frees
+  // every node without walking the tree, and the fresh arena reuses the
+  // thread's cached chunks.
+  pool_ = Arena<Node>();
   root_ = clone(other.root_);
   size_ = other.size_;
   prio_state_ = other.prio_state_;
@@ -57,20 +45,26 @@ StepIndex& StepIndex::operator=(const StepIndex& other) {
 }
 
 StepIndex::StepIndex(StepIndex&& other) noexcept
-    : root_(std::exchange(other.root_, nullptr)),
+    : pool_(std::move(other.pool_)),
+      root_(std::exchange(other.root_, nullptr)),
       size_(std::exchange(other.size_, 0)),
       prio_state_(other.prio_state_) {}
 
 StepIndex& StepIndex::operator=(StepIndex&& other) noexcept {
   if (this == &other) return *this;
-  destroy(root_);
+  pool_ = std::move(other.pool_);  // drops our chunks (and with them, nodes)
   root_ = std::exchange(other.root_, nullptr);
   size_ = std::exchange(other.size_, 0);
   prio_state_ = other.prio_state_;
   return *this;
 }
 
-StepIndex::~StepIndex() { destroy(root_); }
+StepIndex::~StepIndex() = default;  // arena teardown frees every node
+
+StepIndex::PoolStats StepIndex::pool_stats() const {
+  const auto& s = pool_.stats();
+  return PoolStats{s.created, s.reused, s.chunks, s.heap_chunks};
+}
 
 std::uint64_t StepIndex::next_prio() { return splitmix(prio_state_); }
 
@@ -78,12 +72,12 @@ void StepIndex::destroy(Node* n) {
   if (!n) return;
   destroy(n->l);
   destroy(n->r);
-  delete n;
+  pool_.destroy(n);
 }
 
 StepIndex::Node* StepIndex::clone(const Node* n) {
   if (!n) return nullptr;
-  Node* c = new Node(*n);
+  Node* c = pool_.create(*n);
   c->l = clone(n->l);
   c->r = clone(n->r);
   return c;
@@ -188,7 +182,7 @@ void StepIndex::insert(double key, int value) {
   OBS_COUNT("resv.index.treap_rebalances", 1);
   Node *a, *b;
   split(root_, key, /*keep_equal_left=*/false, a, b);
-  root_ = merge(merge(a, new Node(key, value, next_prio())), b);
+  root_ = merge(merge(a, pool_.create(key, value, next_prio())), b);
   ++size_;
 }
 
@@ -198,7 +192,7 @@ void StepIndex::erase(double key) {
   split(root_, key, /*keep_equal_left=*/false, a, rest);
   split(rest, key, /*keep_equal_left=*/true, mid, b);
   RESCHED_ASSERT(mid && !mid->l && !mid->r, "erase of an absent breakpoint");
-  delete mid;
+  pool_.destroy(mid);
   --size_;
   root_ = merge(a, b);
 }
@@ -254,10 +248,10 @@ void StepIndex::compact(double horizon) {
     self(self, n->r);
   };
   count(count, dropped);
-  destroy(dropped);
+  destroy(dropped);  // recycles the slots into the arena's free list
   size_ -= dropped_count;
 
-  Node* sentinel = new Node(kNegInf, value_at_horizon, next_prio());
+  Node* sentinel = pool_.create(kNegInf, value_at_horizon, next_prio());
   ++size_;
   // The first surviving breakpoint may now repeat the sentinel's value.
   if (kept && kept->min_key != kNegInf) {

@@ -25,11 +25,19 @@
 // identical to the linear scan (same max/min clamps, same one-ulp nudge in
 // latest_fit), which is what makes byte-identical differential testing
 // against LinearProfile possible.
+//
+// Nodes live in a per-index Arena (src/resv/arena.hpp): erases recycle
+// slots through the arena's free list and whole-index teardown drops the
+// chunks wholesale, so steady-state calendar churn — including the
+// calendar clones every RESSCHED/RESSCHEDDL pass makes — never reaches the
+// global allocator once the thread's chunk cache is warm (DESIGN.md §11).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <optional>
+
+#include "src/resv/arena.hpp"
 
 namespace resched::resv {
 
@@ -81,11 +89,37 @@ class StepIndex {
       double from, double to,
       const std::function<void(double, double, int)>& fn) const;
 
- private:
-  struct Node;
+  /// Allocator telemetry: node creations / free-list reuses / chunk counts
+  /// for this index's arena (see resv::arena_heap_allocs() for the
+  /// process-wide heap-allocation counter the perf gates watch).
+  struct PoolStats {
+    std::uint64_t created = 0;
+    std::uint64_t reused = 0;
+    std::uint64_t chunks = 0;
+    std::uint64_t heap_chunks = 0;
+  };
+  PoolStats pool_stats() const;
 
-  static void destroy(Node* n);
-  static Node* clone(const Node* n);
+ private:
+  // Fully defined here (not just declared) so the arena member below can
+  // size its slots; still an implementation detail.
+  struct Node {
+    double key;
+    std::uint64_t prio;
+    int value;    // segment value; stale by the sum of ancestors' pending
+    int min_val;  // subtree aggregates, same staleness convention
+    int max_val;
+    double min_key;  // leftmost key in subtree (lazy-independent)
+    int pending = 0;
+    Node* l = nullptr;
+    Node* r = nullptr;
+
+    Node(double k, int v, std::uint64_t p)
+        : key(k), prio(p), value(v), min_val(v), max_val(v), min_key(k) {}
+  };
+
+  void destroy(Node* n);
+  Node* clone(const Node* n);
   static void apply(Node* n, int delta);
   static void push(Node* n);
   static void pull(Node* n);
@@ -101,6 +135,7 @@ class StepIndex {
 
   std::uint64_t next_prio();
 
+  Arena<Node> pool_;
   Node* root_ = nullptr;
   std::size_t size_ = 0;
   std::uint64_t prio_state_;

@@ -190,6 +190,10 @@ class ShardedService {
   std::vector<RoutingOutcome> routing_;
   Aggregates aggregates_;
   double now_;
+  /// Tier-1 floor queries for the job being routed — built once per job
+  /// (all shards share one capacity) and evaluated against each candidate
+  /// shard's calendar snapshot; buffer reused across jobs.
+  std::vector<resv::FitQuery> floor_queries_;
 };
 
 }  // namespace resched::shard

@@ -3,6 +3,7 @@
 // effects of each shape parameter.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <tuple>
 
 #include "src/dag/daggen.hpp"
@@ -85,7 +86,7 @@ TEST(DagGen, Deterministic) {
   ASSERT_EQ(da.size(), db.size());
   EXPECT_EQ(da.num_edges(), db.num_edges());
   for (int v = 0; v < da.size(); ++v) {
-    EXPECT_EQ(da.successors(v), db.successors(v));
+    EXPECT_TRUE(std::ranges::equal(da.successors(v), db.successors(v)));
     EXPECT_DOUBLE_EQ(da.cost(v).seq_time, db.cost(v).seq_time);
   }
 }

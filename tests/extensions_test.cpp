@@ -132,7 +132,7 @@ TEST(ScaleCosts, ScalesOnlySequentialTime) {
   for (int v = 0; v < d.size(); ++v) {
     EXPECT_DOUBLE_EQ(scaled.cost(v).seq_time, 1.5 * d.cost(v).seq_time);
     EXPECT_DOUBLE_EQ(scaled.cost(v).alpha, d.cost(v).alpha);
-    EXPECT_EQ(scaled.successors(v), d.successors(v));
+    EXPECT_TRUE(std::ranges::equal(scaled.successors(v), d.successors(v)));
   }
   EXPECT_THROW(dag::scale_costs(d, 0.0), resched::Error);
 }

@@ -2,6 +2,7 @@
 // (happy paths and every diagnostic), round-trips, and CSV export.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "src/dag/daggen.hpp"
@@ -31,7 +32,7 @@ TEST(DagFormat, ParsesTasksEdgesAndComments) {
   EXPECT_EQ(app.id_of("solve"), 1);
   EXPECT_DOUBLE_EQ(app.dag.cost(1).seq_time, 36000.0);
   EXPECT_DOUBLE_EQ(app.dag.cost(1).alpha, 0.05);
-  EXPECT_EQ(app.dag.successors(0), std::vector<int>{1});
+  EXPECT_TRUE(std::ranges::equal(app.dag.successors(0), std::vector<int>{1}));
   EXPECT_THROW(app.id_of("nonexistent"), resched::Error);
 }
 
@@ -80,7 +81,8 @@ TEST(DagFormat, RoundTripPreservesStructure) {
   for (int v = 0; v < original.size(); ++v) {
     EXPECT_DOUBLE_EQ(parsed.dag.cost(v).seq_time, original.cost(v).seq_time);
     EXPECT_DOUBLE_EQ(parsed.dag.cost(v).alpha, original.cost(v).alpha);
-    EXPECT_EQ(parsed.dag.successors(v), original.successors(v));
+    EXPECT_TRUE(
+        std::ranges::equal(parsed.dag.successors(v), original.successors(v)));
   }
 }
 
