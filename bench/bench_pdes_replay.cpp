@@ -1,0 +1,86 @@
+// Parallel windowed replay throughput (google-benchmark): sustained
+// events/sec of the conservative PDES driver (src/pdes/, DESIGN.md §12)
+// replaying one fixed workload stream at worker counts 1 / 2 / 4 / 8 over
+// a fixed 4-shard partition (8 workers oversubscribe to probe the
+// plateau). The stream, shard count, and window are held constant, so the
+// thread count changes only how many shards advance concurrently between
+// barriers — results are byte-identical at every worker count (the
+// determinism contract), and only wall-clock moves.
+//
+// The checked-in baseline bench/BENCH_pdes_replay.json is produced with:
+//   ./build/bench/bench_pdes_replay --benchmark_format=json
+//       --benchmark_min_time=0.3 > bench/BENCH_pdes_replay.json
+// The CI bench-smoke job fails on a >2x per-benchmark regression AND
+// enforces the DESIGN.md §12 acceptance bar within the current run: 4
+// workers must sustain >= 2x the events/sec of 1 worker
+// (scripts/check_bench_regression.py speedup pairs — the ratio is
+// evaluated on the CI runner, where the cores are, so a single-core dev
+// box can still re-pin the baseline honestly).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/online/replay.hpp"
+#include "src/pdes/pdes.hpp"
+#include "src/pdes/source.hpp"
+#include "src/util/rng.hpp"
+#include "src/workload/synth.hpp"
+
+namespace {
+
+using namespace resched;
+
+constexpr int kCpus = 256;
+constexpr int kShards = 4;
+constexpr int kJobs = 400;
+constexpr double kWindow = 3600.0;
+
+/// Deterministic stream shared by every worker count: kJobs DAG
+/// submissions from a dense synthetic SDSC Blue slice (the same shape the
+/// sharded-throughput bench replays, with a deadline mix to exercise the
+/// blind floor probe).
+const std::vector<online::JobSubmission>& stream() {
+  static const std::vector<online::JobSubmission> s = [] {
+    workload::SyntheticLogSpec log_spec = workload::sdsc_blue_spec();
+    log_spec.cpus = kCpus;
+    log_spec.duration_days = 4.0;
+    util::Rng rng(7);
+    workload::Log log = workload::generate_log(log_spec, rng);
+
+    online::ReplaySpec spec;
+    spec.app.num_tasks = 10;
+    spec.app.min_seq_time = 60.0;
+    spec.app.max_seq_time = 3600.0;
+    spec.deadline_fraction = 0.3;
+    spec.max_jobs = kJobs;
+    return online::submissions_from_log(log, spec);
+  }();
+  return s;
+}
+
+void BM_PdesReplay(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    pdes::PdesConfig config;
+    config.shards = kShards;
+    config.threads = threads;
+    config.window = kWindow;
+    config.service.capacity = kCpus / kShards;
+    config.capture_trace = false;  // measure the event loop, not the merge
+    pdes::VectorSource source(stream());
+    pdes::PdesReplayEngine engine(config);
+    pdes::PdesResult result = engine.run(source);
+    events = result.stats.events;
+    benchmark::DoNotOptimize(events);
+  }
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsIterationInvariantRate);
+}
+
+BENCHMARK(BM_PdesReplay)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -13,6 +13,12 @@
 //     this is the throughput path that carries the >= 10k submit
 //     RPCs/sec acceptance bar (a THROUGHPUT_BARS entry in
 //     scripts/check_bench_regression.py);
+//   * BM_SubmitPipelinedDeadline/N — the same pipelined burst but every
+//     submit carries a deadline, so each admission runs the deadline
+//     feasibility pass. The batched drain (ServerCore::apply_batch)
+//     precomputes the whole burst's admission floors through ONE calendar
+//     snapshot + one batched fit pass instead of a per-job snapshot
+//     rebuild after every committed admission — this leg pins that gain;
 //   * BM_StatusRpc/1        — read-only round-trip (no WAL record, no
 //     engine mutation): the protocol + socket overhead baseline.
 //
@@ -197,6 +203,54 @@ void BM_SubmitPipelined(benchmark::State& state) {
       static_cast<double>(rpcs), benchmark::Counter::kIsRate);
 }
 
+// Deadline-burst pipelining: every submit in the burst carries a (loose,
+// always feasible) deadline, forcing the admission floor + backward-pass
+// machinery on each job. Without batching, every accepted admission dirties
+// the calendar and the next job's floor check pays a full snapshot rebuild;
+// the batched drain computes all 64 floors against one frozen snapshot and
+// arms them as engine hints (byte-identical outcomes, fewer rebuilds).
+void BM_SubmitPipelinedDeadline(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  Daemon d;
+
+  std::vector<srv::Client> conns;
+  conns.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c)
+    conns.push_back(srv::Client::connect_unix(d.sock));
+
+  std::uint64_t rpcs = 0;
+  for (auto _ : state) {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c)
+      workers.emplace_back([&, c] {
+        std::vector<srv::proto::Request> burst;
+        burst.reserve(kBatchPerClient);
+        for (int i = 0; i < kBatchPerClient; ++i) {
+          const std::int64_t job = g_next_job.fetch_add(1);
+          srv::proto::Request request;
+          request.verb = srv::proto::Verb::kSubmit;
+          request.job_id = static_cast<int>(job);
+          request.time = static_cast<double>(job) * 10.0;
+          // Loose enough to stay feasible even when concurrent flushes
+          // interleave and t_eff = max(t, now) outruns the requested time
+          // (worst-case in-flight skew: clients * batch * 10 s spacing).
+          request.deadline = request.time + 10000.0;
+          request.dag = tiny_dag();
+          burst.push_back(std::move(request));
+        }
+        const auto responses =
+            conns[static_cast<std::size_t>(c)].pipeline(burst);
+        for (const auto& response : responses)
+          if (!response.ok) std::abort();  // bench invariant, never fires
+      });
+    for (std::thread& w : workers) w.join();
+    rpcs += static_cast<std::uint64_t>(clients) * kBatchPerClient;
+  }
+  state.counters["rpc_per_sec"] = benchmark::Counter(
+      static_cast<double>(rpcs), benchmark::Counter::kIsRate);
+}
+
 void BM_StatusRpc(benchmark::State& state) {
   Daemon d;
   srv::Client client = srv::Client::connect_unix(d.sock);
@@ -220,6 +274,8 @@ void BM_StatusRpc(benchmark::State& state) {
 BENCHMARK(BM_SubmitRpc)->Arg(1)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 BENCHMARK(BM_SubmitPipelined)->Arg(1)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_SubmitPipelinedDeadline)->Arg(1)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 BENCHMARK(BM_StatusRpc)->Arg(1)
     ->Unit(benchmark::kMillisecond)->UseRealTime();

@@ -1,0 +1,275 @@
+// Parallel archive replay: drive the conservative time-windowed PDES
+// driver (src/pdes/, DESIGN.md §12) over an SWF archive or a synthetic
+// log, and optionally check it byte-for-byte against the single-threaded
+// windowed oracle.
+//
+//   ./build/examples/pdes_replay [options]
+//     --swf PATH        stream an SWF archive (bounded memory; default: a
+//                       synthetic SDSC Blue Horizon slice)
+//     --jobs N          truncate the stream to its first N jobs (2000)
+//     --tasks N         tasks per submitted application DAG (10)
+//     --deadline-frac F fraction of jobs submitted with deadlines (0.3)
+//     --slack S         deadline = submit + S * serial critical path (3)
+//     --seed N          DAG / deadline generation seed (42)
+//     --shards N        platform partitions (4; must divide the cpus)
+//     --threads N       worker threads for the window barrier (= shards);
+//                       any value yields byte-identical output
+//     --window S        lookahead window seconds (3600)
+//     --reject          reject infeasible deadlines (default: counter-offer)
+//     --chaos MEAN      inject outages with this mean inter-arrival [s]
+//     --trace PATH      write the merged (time, shard, seq) JSONL trace
+//     --verify          also run the serial oracle and compare traces,
+//                       aggregates, and stats (reports the speedup)
+//
+// Options also accept the --flag=value form.
+//
+// Examples:
+//   ./build/examples/pdes_replay --jobs 1000 --shards 4 --threads 4 --verify
+//   ./build/examples/pdes_replay --swf archive.swf --shards=8 --threads=8
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/online/replay.hpp"
+#include "src/online/trace.hpp"
+#include "src/pdes/pdes.hpp"
+#include "src/pdes/source.hpp"
+#include "src/util/error.hpp"
+#include "src/util/rng.hpp"
+#include "src/workload/swf.hpp"
+#include "src/workload/synth.hpp"
+
+namespace {
+
+resched::workload::Log default_log() {
+  // The Table-4 platform profile, scaled up to archive-like traffic.
+  resched::workload::SyntheticLogSpec spec =
+      resched::workload::sdsc_blue_spec();
+  spec.cpus = 256;
+  spec.duration_days = 60.0;
+  resched::util::Rng rng(7);
+  return resched::workload::generate_log(spec, rng);
+}
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--swf PATH] [--jobs N] [--tasks N] "
+               "[--deadline-frac F] [--slack S] [--seed N] [--shards N] "
+               "[--threads N] [--window S] [--reject] [--chaos MEAN] "
+               "[--trace PATH] [--verify]\n",
+               argv0);
+  std::exit(2);
+}
+
+/// Expands "--flag=value" arguments into "--flag" "value" pairs so both
+/// spellings parse identically.
+std::vector<std::string> expand_args(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::size_t eq = arg.find('=');
+    if (arg.size() > 2 && arg.compare(0, 2, "--") == 0 &&
+        eq != std::string::npos) {
+      args.push_back(arg.substr(0, eq));
+      args.push_back(arg.substr(eq + 1));
+    } else {
+      args.push_back(std::move(arg));
+    }
+  }
+  return args;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void print_result(const resched::pdes::PdesResult& result, double elapsed) {
+  const resched::pdes::PdesStats& s = result.stats;
+  std::printf("  windows=%llu (fast-forwards=%llu)  arrivals=%llu  "
+              "events=%llu  horizon=%.1f h\n",
+              static_cast<unsigned long long>(s.windows),
+              static_cast<unsigned long long>(s.fast_forwards),
+              static_cast<unsigned long long>(s.arrivals),
+              static_cast<unsigned long long>(s.events), s.horizon / 3600.0);
+  std::printf("  blind probes=%llu  floor skips=%llu  disruptions=%llu  "
+              "barrier stall=%.1f ms\n",
+              static_cast<unsigned long long>(s.blind_probes),
+              static_cast<unsigned long long>(s.floor_skips),
+              static_cast<unsigned long long>(s.disruptions),
+              static_cast<double>(s.barrier_stall_ns) / 1e6);
+  std::printf("  admitted: %d submitted, %d accepted, %d counter-offered, "
+              "%d rejected\n",
+              result.aggregates.submitted, result.aggregates.accepted,
+              result.aggregates.counter_offered, result.aggregates.rejected);
+  std::printf("  elapsed: %.3f s (%.0f events/s)\n", elapsed,
+              elapsed > 0.0 ? static_cast<double>(s.events) / elapsed : 0.0);
+}
+
+bool same_deterministic_results(const resched::pdes::PdesResult& a,
+                                const resched::pdes::PdesResult& b) {
+  using resched::online::to_json_line;
+  if (a.trace.size() != b.trace.size()) return false;
+  for (std::size_t i = 0; i < a.trace.size(); ++i)
+    if (to_json_line(a.trace[i]) != to_json_line(b.trace[i])) return false;
+  const auto agg = [](const resched::shard::ShardedService::Aggregates& x) {
+    return std::tuple(x.submitted, x.accepted, x.counter_offered, x.rejected,
+                      x.spillovers);
+  };
+  if (agg(a.aggregates) != agg(b.aggregates)) return false;
+  const auto det = [](const resched::pdes::PdesStats& x) {
+    // barrier_stall_ns is measured wall-clock — deliberately excluded.
+    return std::tuple(x.windows, x.fast_forwards, x.arrivals, x.disruptions,
+                      x.blind_probes, x.floor_skips, x.events, x.horizon);
+  };
+  if (det(a.stats) != det(b.stats)) return false;
+  if (a.chaos.size() != b.chaos.size()) return false;
+  for (std::size_t i = 0; i < a.chaos.size(); ++i)
+    if (!(a.chaos[i] == b.chaos[i])) return false;
+  return true;
+}
+
+}  // namespace
+
+int run(int argc, char** argv) {
+  using namespace resched;
+
+  std::string swf_path, trace_path;
+  online::ReplaySpec spec;
+  spec.app.num_tasks = 10;
+  spec.app.min_seq_time = 60.0;
+  spec.app.max_seq_time = 3600.0;
+  spec.deadline_fraction = 0.3;
+  spec.deadline_slack = 3.0;
+  spec.max_jobs = 2000;
+  bool reject_infeasible = false;
+  bool verify = false;
+  double chaos_mean = 0.0;
+  pdes::PdesConfig config;
+  config.shards = 4;
+  config.threads = 0;  // 0 = match --shards
+
+  std::vector<std::string> args = expand_args(argc, argv);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    auto value = [&]() -> const char* {
+      if (i + 1 >= args.size()) usage(argv[0]);
+      return args[++i].c_str();
+    };
+    const std::string& arg = args[i];
+    if (arg == "--swf") swf_path = value();
+    else if (arg == "--jobs") spec.max_jobs = std::atoi(value());
+    else if (arg == "--tasks") spec.app.num_tasks = std::atoi(value());
+    else if (arg == "--deadline-frac")
+      spec.deadline_fraction = std::atof(value());
+    else if (arg == "--slack") spec.deadline_slack = std::atof(value());
+    else if (arg == "--seed")
+      spec.seed = static_cast<std::uint64_t>(std::atoll(value()));
+    else if (arg == "--shards") config.shards = std::atoi(value());
+    else if (arg == "--threads") config.threads = std::atoi(value());
+    else if (arg == "--window") config.window = std::atof(value());
+    else if (arg == "--reject") reject_infeasible = true;
+    else if (arg == "--chaos") chaos_mean = std::atof(value());
+    else if (arg == "--trace") trace_path = value();
+    else if (arg == "--verify") verify = true;
+    else usage(argv[0]);
+  }
+  if (config.shards < 1 || config.threads < 0 || config.window <= 0.0)
+    usage(argv[0]);
+  if (config.threads == 0) config.threads = config.shards;
+  config.service.admission = reject_infeasible
+                                 ? online::AdmissionPolicy::kRejectInfeasible
+                                 : online::AdmissionPolicy::kCounterOffer;
+  if (chaos_mean > 0.0) {
+    pdes::PdesChaos chaos;
+    chaos.injector.seed = spec.seed;
+    chaos.injector.outage_mean = chaos_mean;
+    config.chaos = chaos;
+  }
+
+  // Source factory: streaming runs are single-pass, so --verify's oracle
+  // leg gets a fresh source (and a re-opened archive) of its own.
+  workload::Log log;
+  if (swf_path.empty()) log = default_log();
+  std::ifstream swf_file;
+  int cpus = log.cpus;
+  auto make_source = [&]() -> std::unique_ptr<pdes::SubmissionSource> {
+    if (swf_path.empty()) return std::make_unique<pdes::LogSource>(log, spec);
+    swf_file.close();
+    swf_file.clear();
+    swf_file.open(swf_path);
+    if (!swf_file) throw Error("cannot open SWF archive: " + swf_path);
+    auto source =
+        std::make_unique<pdes::SwfStreamSource>(swf_file, swf_path, spec);
+    cpus = source->header_cpus();
+    return source;
+  };
+
+  std::unique_ptr<pdes::SubmissionSource> source = make_source();
+  if (cpus % config.shards != 0) {
+    std::fprintf(stderr, "--shards %d must divide the platform size %d\n",
+                 config.shards, cpus);
+    return 2;
+  }
+  config.service.capacity = cpus / config.shards;
+
+  std::printf("Workload: %s — %d processors over %d shards x %d procs\n",
+              swf_path.empty() ? log.name.c_str() : swf_path.c_str(), cpus,
+              config.shards, config.service.capacity);
+  std::printf("Parallel windowed replay (%d threads, window %.0f s, "
+              "policy: %s%s)...\n",
+              config.threads, config.window,
+              reject_infeasible ? "reject" : "counter-offer",
+              config.chaos ? ", chaos on" : "");
+
+  const auto t0 = std::chrono::steady_clock::now();
+  pdes::PdesReplayEngine engine(config);
+  pdes::PdesResult parallel = engine.run(*source);
+  const double parallel_s = seconds_since(t0);
+  print_result(parallel, parallel_s);
+
+  if (!trace_path.empty()) {
+    std::ofstream trace_file(trace_path);
+    if (!trace_file) {
+      std::fprintf(stderr, "cannot open trace file: %s\n", trace_path.c_str());
+      return 1;
+    }
+    for (const online::TraceRecord& r : parallel.trace)
+      trace_file << online::to_json_line(r) << '\n';
+    std::printf("merged event trace written to %s (%zu records)\n",
+                trace_path.c_str(), parallel.trace.size());
+  }
+
+  if (verify) {
+    std::printf("\nSerial oracle (same windowed protocol, one thread)...\n");
+    std::unique_ptr<pdes::SubmissionSource> oracle_source = make_source();
+    const auto t1 = std::chrono::steady_clock::now();
+    pdes::PdesResult serial = pdes::serial_replay(config, *oracle_source);
+    const double serial_s = seconds_since(t1);
+    print_result(serial, serial_s);
+    if (!same_deterministic_results(parallel, serial)) {
+      std::fprintf(stderr, "FAIL: parallel and serial replays diverged\n");
+      return 1;
+    }
+    std::printf("\nPASS: %zu trace records byte-identical; speedup %.2fx at "
+                "%d threads\n",
+                parallel.trace.size(),
+                parallel_s > 0.0 ? serial_s / parallel_s : 0.0,
+                config.threads);
+  }
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -27,6 +27,10 @@ Current pairs / bars / ceilings:
     linear oracle by >= 5x;
   * sharded service  — a 4-shard replay sustains >= 2x the events/sec of
     the 1-shard replay of the same stream (DESIGN.md §9 acceptance bar);
+  * PDES replay      — the conservative windowed replay at 4 workers
+    sustains >= 2x the events/sec of the same 4-shard replay at 1 worker
+    (DESIGN.md §12 acceptance bar; results are byte-identical at every
+    worker count, so only wall-clock may move);
   * reschedd RPC     — pipelined submits over a unix socket sustain
     >= 10k RPCs/sec with a durable WAL (DESIGN.md §10 acceptance bar);
   * hot-path layout  — the small-profile flat scan beats the treap at the
@@ -51,6 +55,8 @@ SPEEDUP_PAIRS = [
      "earliest_fit speedup over the linear oracle at 10k"),
     ("BM_ShardReplay/1/real_time", "BM_ShardReplay/4/real_time", 2.0,
      "4-shard replay speedup over 1 shard"),
+    ("BM_PdesReplay/1/real_time", "BM_PdesReplay/4/real_time", 2.0,
+     "PDES windowed replay speedup at 4 workers over 1"),
     ("BM_FitTreap/64", "BM_FitFlat/64", 1.05,
      "small-profile flat fast path at the 128-breakpoint crossover"),
 ]

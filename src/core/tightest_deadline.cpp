@@ -33,6 +33,19 @@ double evaluate_finish_floor(std::span<const resv::FitQuery> queries,
   return floor;
 }
 
+double finish_floor_from_fits(std::span<const resv::FitQuery> queries,
+                              std::span<const std::optional<double>> fits,
+                              double now) {
+  RESCHED_ASSERT(queries.size() == fits.size(),
+                 "one resolved fit per floor query");
+  double floor = now;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    RESCHED_ASSERT(fits[i].has_value(), "1-processor fit must always exist");
+    floor = std::max(floor, *fits[i] + queries[i].duration);
+  }
+  return floor;
+}
+
 double earliest_finish_floor(const dag::Dag& dag,
                              const resv::AvailabilityProfile& competing,
                              double now) {

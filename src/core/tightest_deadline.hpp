@@ -7,6 +7,7 @@
 // brackets a feasible K, and bisection narrows the bracket to tolerance.
 #pragma once
 
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -52,6 +53,16 @@ void finish_floor_queries(const dag::Dag& dag, int capacity, double now,
 double evaluate_finish_floor(std::span<const resv::FitQuery> queries,
                              const resv::CalendarSnapshot& calendar,
                              double now);
+
+/// Floor arithmetic over already-resolved fits: fits[i] must be the
+/// earliest-fit answer for queries[i] (any evaluation route — snapshot
+/// fit_many_into, profile fit_many, or a blind batch-scheduler probe).
+/// Lets a batched caller resolve the concatenated queries of many jobs in
+/// one pass and evaluate each job's slice separately; identical doubles
+/// to evaluate_finish_floor on the same fits.
+double finish_floor_from_fits(std::span<const resv::FitQuery> queries,
+                              std::span<const std::optional<double>> fits,
+                              double now);
 
 /// Finds the tightest deadline `params.algo` can meet at time `now`.
 TightestDeadlineResult tightest_deadline(

@@ -29,7 +29,19 @@ std::uint64_t type_tag(DisruptionType type) {
   return 0xF7000000ULL + static_cast<std::uint64_t>(type);
 }
 
+/// Shard-split tag, disjoint from the per-type tag range above.
+constexpr std::uint64_t kShardTag = 0xF8000000ULL;
+
 }  // namespace
+
+FaultInjectorConfig shard_injector_config(const FaultInjectorConfig& base,
+                                          int shard) {
+  RESCHED_CHECK(shard >= 0, "shard id must be >= 0");
+  FaultInjectorConfig config = base;
+  config.seed = util::derive_seed(
+      base.seed, {kShardTag, static_cast<std::uint64_t>(shard)});
+  return config;
+}
 
 const char* to_string(ArrivalModel model) {
   switch (model) {

@@ -55,6 +55,14 @@ struct FaultInjectorConfig {
   int target_ext = -1;  ///< reservation cancel / extend / shift
 };
 
+/// Per-shard variant of a base campaign config (archive-scale chaos,
+/// src/pdes/): same knobs, seed re-derived with the shard id so the N
+/// shards run independent — but jointly deterministic — streams. Shard 0's
+/// stream differs from the base seed's too (derive_seed is non-trivial for
+/// every tag), so a sharded campaign never aliases a single-engine one.
+FaultInjectorConfig shard_injector_config(const FaultInjectorConfig& base,
+                                          int shard);
+
 /// Generates deterministic disruption campaigns. Stateless between calls:
 /// generate() with the same arguments always returns the same sequence.
 class FaultInjector {

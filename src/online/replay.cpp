@@ -10,34 +10,39 @@ namespace {
 enum SeedTag : std::uint64_t { kTagDag = 1, kTagDeadline = 2 };
 }  // namespace
 
-std::vector<JobSubmission> submissions_from_log(const workload::Log& log,
-                                                const ReplaySpec& spec) {
+JobSubmission submission_for_job(const workload::Job& job, int index,
+                                 const ReplaySpec& spec) {
   RESCHED_CHECK(spec.deadline_fraction >= 0.0 && spec.deadline_fraction <= 1.0,
                 "deadline fraction must lie in [0, 1]");
   RESCHED_CHECK(spec.deadline_slack > 0.0, "deadline slack must be positive");
+  util::Rng dag_rng(util::derive_seed(
+      spec.seed, {kTagDag, static_cast<std::uint64_t>(index)}));
+  JobSubmission sub{index, job.submit, dag::generate(spec.app, dag_rng),
+                    std::nullopt};
+
+  util::Rng dl_rng(util::derive_seed(
+      spec.seed, {kTagDeadline, static_cast<std::uint64_t>(index)}));
+  if (dl_rng.bernoulli(spec.deadline_fraction)) {
+    // Serial critical path: every task on one processor — an upper bound
+    // on useful work along the longest chain, so slack ~1 is demanding
+    // on a loaded platform and slack >~3 is usually comfortable.
+    std::vector<int> ones(static_cast<std::size_t>(sub.dag.size()), 1);
+    double cp = dag::critical_path_length(sub.dag, ones);
+    sub.deadline = sub.submit + spec.deadline_slack * cp;
+  }
+  return sub;
+}
+
+std::vector<JobSubmission> submissions_from_log(const workload::Log& log,
+                                                const ReplaySpec& spec) {
   int n = static_cast<int>(log.jobs.size());
   if (spec.max_jobs > 0) n = std::min(n, spec.max_jobs);
 
   std::vector<JobSubmission> out;
   out.reserve(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    util::Rng dag_rng(util::derive_seed(
-        spec.seed, {kTagDag, static_cast<std::uint64_t>(i)}));
-    JobSubmission sub{i, log.jobs[static_cast<std::size_t>(i)].submit,
-                      dag::generate(spec.app, dag_rng), std::nullopt};
-
-    util::Rng dl_rng(util::derive_seed(
-        spec.seed, {kTagDeadline, static_cast<std::uint64_t>(i)}));
-    if (dl_rng.bernoulli(spec.deadline_fraction)) {
-      // Serial critical path: every task on one processor — an upper bound
-      // on useful work along the longest chain, so slack ~1 is demanding
-      // on a loaded platform and slack >~3 is usually comfortable.
-      std::vector<int> ones(static_cast<std::size_t>(sub.dag.size()), 1);
-      double cp = dag::critical_path_length(sub.dag, ones);
-      sub.deadline = sub.submit + spec.deadline_slack * cp;
-    }
-    out.push_back(std::move(sub));
-  }
+  for (int i = 0; i < n; ++i)
+    out.push_back(
+        submission_for_job(log.jobs[static_cast<std::size_t>(i)], i, spec));
   return out;
 }
 

@@ -32,6 +32,14 @@ struct ReplaySpec {
   std::uint64_t seed = 42;
 };
 
+/// Materializes one log job as a submission: job `index` becomes a DAG
+/// generated from derive_seed(seed, {tag, index}) submitted at job.submit,
+/// with job_id = index. Deterministic per (spec.seed, index) — streaming
+/// replays (src/pdes/) call this lazily and get the exact stream
+/// submissions_from_log would have built up front.
+JobSubmission submission_for_job(const workload::Job& job, int index,
+                                 const ReplaySpec& spec);
+
 /// Builds the submission stream for `log`: job i becomes a DAG generated
 /// from derive_seed(seed, {i}) submitted at log.jobs[i].submit, with
 /// job_id i.

@@ -177,6 +177,36 @@ class SchedulerService {
   /// Drains the event queue completely.
   void run_all();
 
+  /// Time of the earliest pending event; +infinity when the queue is
+  /// empty. The conservative parallel replay (src/pdes/) derives its
+  /// lower-bound-on-timestamp barrier from this.
+  double next_event_time() const {
+    return queue_.empty() ? std::numeric_limits<double>::infinity()
+                          : queue_.peek().time;
+  }
+
+  /// Arms a precomputed admission-floor hint for the next processed job
+  /// submission (reschedd batched admission, DESIGN.md §10). `floor` must
+  /// be core::evaluate_finish_floor for that job's DAG at its effective
+  /// submission time, computed against a calendar snapshot taken at
+  /// profile epoch `epoch`. The engine consumes the hint instead of
+  /// re-freezing the calendar when the hinted floor is provably still a
+  /// lower bound on the live floor — no availability-increasing mutation
+  /// (release / rollback / repair) since `epoch`; reservations *added*
+  /// since only push the true floor up, and the pre-filter only ever
+  /// skips full passes that would have come back infeasible, so a stale
+  /// valid hint cannot change any outcome. Otherwise the hint is silently
+  /// dropped and the engine recomputes. One-shot: cleared by the next
+  /// admission whether or not it was usable.
+  void hint_admission_floor(double floor, std::uint64_t epoch) {
+    floor_hint_ = FloorHint{floor, epoch};
+  }
+
+  /// Disarms a pending hint. Batched callers invoke this after each
+  /// request so a hint armed for an admission that failed before the
+  /// engine consumed it cannot leak onto the next job.
+  void clear_admission_floor_hint() { floor_hint_.reset(); }
+
   double now() const { return now_; }
   const resv::AvailabilityProfile& profile() const { return *profile_; }
   const OnlineMetrics& metrics() const { return metrics_; }
@@ -319,6 +349,18 @@ class SchedulerService {
   /// admission) and the per-task query buffer, both reused across jobs.
   resv::CalendarSnapshot floor_snapshot_;
   std::vector<resv::FitQuery> floor_queries_;
+  /// Batched-admission hint (hint_admission_floor): floor precomputed
+  /// against the snapshot frozen at profile epoch `epoch`.
+  struct FloorHint {
+    double floor;
+    std::uint64_t epoch;
+  };
+  std::optional<FloorHint> floor_hint_;
+  /// Profile epoch right after the engine's most recent
+  /// availability-increasing mutation (release / rollback). Floors
+  /// precomputed against snapshots at least this new are still valid
+  /// lower bounds; older ones may over-reject and are discarded.
+  std::uint64_t release_epoch_ = 0;
 };
 
 }  // namespace resched::online

@@ -1,0 +1,68 @@
+#include "src/pdes/source.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/error.hpp"
+
+namespace resched::pdes {
+
+VectorSource::VectorSource(std::vector<online::JobSubmission> jobs)
+    : jobs_(std::move(jobs)) {
+  for (std::size_t i = 1; i < jobs_.size(); ++i)
+    RESCHED_CHECK(jobs_[i - 1].submit <= jobs_[i].submit,
+                  "VectorSource jobs must be in nondecreasing submit order");
+}
+
+std::optional<double> VectorSource::peek_time() {
+  if (pos_ >= jobs_.size()) return std::nullopt;
+  return jobs_[pos_].submit;
+}
+
+online::JobSubmission VectorSource::next() {
+  RESCHED_CHECK(pos_ < jobs_.size(), "next() on a drained source");
+  return std::move(jobs_[pos_++]);
+}
+
+LogSource::LogSource(const workload::Log& log, online::ReplaySpec spec)
+    : log_(&log), spec_(std::move(spec)) {
+  limit_ = static_cast<int>(log.jobs.size());
+  if (spec_.max_jobs > 0) limit_ = std::min(limit_, spec_.max_jobs);
+}
+
+std::optional<double> LogSource::peek_time() {
+  if (pos_ >= limit_) return std::nullopt;
+  return log_->jobs[static_cast<std::size_t>(pos_)].submit;
+}
+
+online::JobSubmission LogSource::next() {
+  RESCHED_CHECK(pos_ < limit_, "next() on a drained source");
+  const workload::Job& job = log_->jobs[static_cast<std::size_t>(pos_)];
+  online::JobSubmission sub = online::submission_for_job(job, pos_, spec_);
+  ++pos_;
+  return sub;
+}
+
+SwfStreamSource::SwfStreamSource(std::istream& in, std::string name,
+                                 online::ReplaySpec spec,
+                                 const workload::SwfReadOptions& opts)
+    : reader_(in, std::move(name), opts), spec_(std::move(spec)) {
+  ahead_ = reader_.next();
+}
+
+std::optional<double> SwfStreamSource::peek_time() {
+  if (!ahead_ || (spec_.max_jobs > 0 && index_ >= spec_.max_jobs))
+    return std::nullopt;
+  return ahead_->submit;
+}
+
+online::JobSubmission SwfStreamSource::next() {
+  RESCHED_CHECK(peek_time().has_value(), "next() on a drained source");
+  online::JobSubmission sub =
+      online::submission_for_job(*ahead_, index_, spec_);
+  ++index_;
+  ahead_ = reader_.next();
+  return sub;
+}
+
+}  // namespace resched::pdes

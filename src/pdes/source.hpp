@@ -1,0 +1,89 @@
+// Submission sources for the parallel replay driver (DESIGN.md §12).
+//
+// The conservative window loop consumes arrivals lazily: it peeks the next
+// submit time (the arrival half of the lower-bound-on-timestamp barrier),
+// then pops submissions while they fall inside the open window. A source
+// is any time-ordered pull stream of online::JobSubmission — a prebuilt
+// vector (tests), a lazy walk over an in-memory workload::Log, or a
+// bounded-memory streaming SWF parse for archives that must never fully
+// materialize. The DAG/deadline generation is online::submission_for_job
+// in every case, so all sources over the same jobs and ReplaySpec produce
+// the identical submission stream the serial replay driver would have
+// built up front.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/online/replay.hpp"
+#include "src/online/service.hpp"
+#include "src/workload/log.hpp"
+#include "src/workload/swf.hpp"
+
+namespace resched::pdes {
+
+/// Pull interface over a submit-time-ordered job stream.
+class SubmissionSource {
+ public:
+  virtual ~SubmissionSource() = default;
+  /// Submit time of the next job; nullopt once drained. Nondecreasing
+  /// across next() calls.
+  virtual std::optional<double> peek_time() = 0;
+  /// Pops the next job. Precondition: peek_time() is engaged.
+  virtual online::JobSubmission next() = 0;
+};
+
+/// Replays a prebuilt submission vector (tests, small streams). The jobs
+/// must already be in nondecreasing submit order.
+class VectorSource final : public SubmissionSource {
+ public:
+  explicit VectorSource(std::vector<online::JobSubmission> jobs);
+  std::optional<double> peek_time() override;
+  online::JobSubmission next() override;
+
+ private:
+  std::vector<online::JobSubmission> jobs_;
+  std::size_t pos_ = 0;
+};
+
+/// Lazily materializes DAG submissions from an in-memory workload::Log —
+/// the stream online::submissions_from_log(log, spec) would build, one
+/// job at a time. The log is borrowed and must outlive the source.
+class LogSource final : public SubmissionSource {
+ public:
+  LogSource(const workload::Log& log, online::ReplaySpec spec);
+  std::optional<double> peek_time() override;
+  online::JobSubmission next() override;
+
+ private:
+  const workload::Log* log_;
+  online::ReplaySpec spec_;
+  int pos_ = 0;
+  int limit_ = 0;
+};
+
+/// Streams an SWF archive through workload::SwfStreamReader: chunked
+/// line-at-a-time parsing with a bounded reorder buffer, feeding
+/// submission_for_job with the emission index as the job id. The istream
+/// is borrowed and must outlive the source. spec.max_jobs truncates the
+/// archive like it truncates a Log.
+class SwfStreamSource final : public SubmissionSource {
+ public:
+  SwfStreamSource(std::istream& in, std::string name, online::ReplaySpec spec,
+                  const workload::SwfReadOptions& opts = {});
+  std::optional<double> peek_time() override;
+  online::JobSubmission next() override;
+
+  /// Platform size from the archive header (workload::SwfStreamReader).
+  int header_cpus() const { return reader_.header_cpus(); }
+
+ private:
+  workload::SwfStreamReader reader_;
+  online::ReplaySpec spec_;
+  std::optional<workload::Job> ahead_;  ///< one-job lookahead
+  int index_ = 0;
+};
+
+}  // namespace resched::pdes

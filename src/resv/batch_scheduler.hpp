@@ -20,9 +20,23 @@ class BatchScheduler {
  public:
   /// Wraps a calendar; the caller keeps no other handle to it.
   explicit BatchScheduler(AvailabilityProfile calendar)
-      : calendar_(std::move(calendar)) {}
+      : owned_(std::move(calendar)), calendar_(&*owned_) {}
 
-  int capacity() const { return calendar_.capacity(); }
+  /// Probe-only view over a calendar owned elsewhere (the PDES replay's
+  /// blind routing hook: each shard's live calendar is interrogated
+  /// through the metered facade without being copied per window). The
+  /// borrowed calendar must outlive the facade; reserve() is a
+  /// precondition violation in this mode — bookings belong to the
+  /// calendar's owner.
+  static BatchScheduler probe_only(const AvailabilityProfile& calendar) {
+    return BatchScheduler(&calendar);
+  }
+
+  // Owning mode holds a pointer into its own optional member; pinned.
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  int capacity() const { return calendar_->capacity(); }
 
   /// "Could I reserve `procs` processors for `duration` seconds starting at
   /// or after `earliest`?" Returns the earliest offered start. Each call
@@ -31,8 +45,8 @@ class BatchScheduler {
 
   /// Books the reservation. Real systems would re-validate the offer; here
   /// submission is instantaneous (paper §3.2.2 assumption 1), so an offer
-  /// from probe() is always still available.
-  void reserve(const Reservation& r) { calendar_.add(r); }
+  /// from probe() is always still available. Owning mode only.
+  void reserve(const Reservation& r);
 
   /// Probes consumed so far (reservations are free; probing is the metered
   /// resource).
@@ -41,11 +55,17 @@ class BatchScheduler {
   /// Escape hatch for evaluation code (metrics, validation) — not part of
   /// the interface a blind scheduler may use.
   const AvailabilityProfile& calendar_for_evaluation() const {
-    return calendar_;
+    return *calendar_;
   }
 
  private:
-  AvailabilityProfile calendar_;
+  explicit BatchScheduler(const AvailabilityProfile* calendar)
+      : calendar_(calendar) {}
+
+  /// Engaged in owning mode; calendar_ then points at it. Probe-only
+  /// borrowed mode leaves it empty and calendar_ targets the caller's.
+  std::optional<AvailabilityProfile> owned_;
+  const AvailabilityProfile* calendar_;
   mutable long probes_ = 0;
 };
 

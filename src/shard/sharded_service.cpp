@@ -214,6 +214,32 @@ void ShardedService::run_all() {
     now_ = std::max(now_, sh->engine.now());
 }
 
+void ShardedService::advance_window(double t) {
+  RESCHED_CHECK(pending_.empty(),
+                "advance_window with un-routed arrivals in the router queue");
+  advance_all(t);
+}
+
+double ShardedService::next_event_time() const {
+  double next = kInf;
+  for (const std::unique_ptr<Shard>& sh : shards_)
+    next = std::min(next, sh->engine.next_event_time());
+  return next;
+}
+
+std::int64_t ShardedService::last_window_stall_ns() const {
+#ifndef RESCHED_OBS_DISABLED
+  std::int64_t lo = std::numeric_limits<std::int64_t>::max(), hi = 0;
+  for (const std::unique_ptr<Shard>& sh : shards_) {
+    lo = std::min(lo, sh->last_advance_ns);
+    hi = std::max(hi, sh->last_advance_ns);
+  }
+  return std::max<std::int64_t>(hi - lo, 0);
+#else
+  return 0;
+#endif
+}
+
 void ShardedService::advance_all(double t) {
   pool_.run(config_.shards, [this, t](int s) {
     Shard& sh = *shards_[static_cast<std::size_t>(s)];

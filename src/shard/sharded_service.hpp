@@ -135,6 +135,22 @@ class ShardedService {
   /// Routes everything pending, then drains every shard's event queue.
   void run_all();
 
+  /// Conservative-window advance (src/pdes/): every shard's engine runs to
+  /// t behind one pool barrier, with no routing. The PDES driver submits
+  /// directly to the per-shard engines (bypassing the router), so the
+  /// router queue must be empty — mixing routed arrivals with window
+  /// advances would run engines past un-routed submissions.
+  void advance_window(double t);
+
+  /// Earliest pending engine event across all shards; +infinity when
+  /// every queue is drained. The PDES lower-bound-on-timestamp input.
+  double next_event_time() const;
+
+  /// max − min of per-shard wall-clock inside the most recent lockstep
+  /// advance — the barrier-stall signal for pdes.* instrumentation. Zero
+  /// when observability is compiled out.
+  std::int64_t last_window_stall_ns() const;
+
   /// Shard s's engine — attach traces (TraceWriter(out, s) tags records
   /// with the shard id), read metrics / outcomes, register ft handlers.
   online::SchedulerService& engine(int s);

@@ -8,6 +8,9 @@
 
 #include <cerrno>
 #include <cstring>
+#include <optional>
+#include <utility>
+#include <vector>
 
 #include "src/obs/obs.hpp"
 #include "src/util/error.hpp"
@@ -168,6 +171,12 @@ void Server::run_connection(int fd) {
   bool saw_shutdown = false;
 
   std::string out;  ///< framed responses accumulated per drain
+  /// Per drained flush: decode-phase results. slot_errors[i] holds the
+  /// error response of an undecodable frame i; nullopt slots correspond,
+  /// in order, to entries of `batch`.
+  std::vector<std::optional<proto::Response>> slot_errors;
+  std::vector<proto::Request> batch;
+  std::vector<proto::Response> batch_responses;
 #ifndef RESCHED_OBS_DISABLED
   struct PendingRpc {
     proto::Verb verb;
@@ -183,57 +192,79 @@ void Server::run_connection(int fd) {
     buffer.append(chunk, static_cast<std::size_t>(n));
 
     // Drain every complete frame before touching the disk or the socket:
-    // a pipelining client's whole burst shares ONE fsync (batch commit)
-    // and ONE send, and responses still release only after their LSNs are
-    // durable.
+    // a pipelining client's whole burst is decoded up front, applied under
+    // ONE core-lock acquisition (ServerCore::apply_batch — which also
+    // batch-precomputes the burst's admission floors), covered by ONE
+    // fsync (group commit), and answered with ONE send. Responses still
+    // release only after their LSNs are durable.
     bool close_conn = false;
     out.clear();
 #ifndef RESCHED_OBS_DISABLED
     pending_rpcs.clear();
 #endif
     std::uint64_t batch_lsn = 0;
-    std::size_t consumed = 0;
     proto::FrameStatus status = proto::FrameStatus::kNeedMore;
-    while (!saw_shutdown &&
-           (status = proto::try_parse_frame(buffer, consumed, payload)) ==
-               proto::FrameStatus::kOk) {
-      buffer.erase(0, consumed);
-
-      proto::Response response;
-      bool decoded = false;
-      proto::Request request;
-      try {
-        request = proto::decode_request(payload);
-        decoded = true;
-      } catch (const std::exception& e) {
-        response.ok = false;
-        response.error = e.what();
-        response.state = "error";
-      }
-      if (decoded) {
-#ifndef RESCHED_OBS_DISABLED
-        const bool timing = obs::metrics_enabled();
-        const std::int64_t t0 = timing ? obs::now_ns() : 0;
-#endif
-        std::uint64_t lsn = 0;
-        {
-          std::unique_lock<std::mutex> lock(core_mu_);
-#ifndef RESCHED_OBS_DISABLED
-          if (timing) OBS_HIST("srv.core.lock_wait.ns", obs::now_ns() - t0);
-#endif
-          response = core_.apply(request, &lsn);
+    while (!saw_shutdown) {
+      // Decode phase. Stops after a shutdown frame: frames pipelined
+      // behind a successful shutdown must never reach the engine (they
+      // stay in `buffer` and die with the connection, as before).
+      slot_errors.clear();
+      batch.clear();
+      batch_responses.clear();
+      bool stop_decode = false;
+      std::size_t consumed = 0;
+      while (!stop_decode &&
+             (status = proto::try_parse_frame(buffer, consumed, payload)) ==
+                 proto::FrameStatus::kOk) {
+        buffer.erase(0, consumed);
+        try {
+          proto::Request request = proto::decode_request(payload);
+          if (request.verb == proto::Verb::kShutdown) stop_decode = true;
+          slot_errors.emplace_back(std::nullopt);
+          batch.push_back(std::move(request));
+        } catch (const std::exception& e) {
+          proto::Response response;
+          response.ok = false;
+          response.error = e.what();
+          response.state = "error";
+          slot_errors.emplace_back(std::move(response));
+          OBS_COUNT("srv.rpc.errors", 1);
         }
-        if (lsn > batch_lsn) batch_lsn = lsn;
-#ifndef RESCHED_OBS_DISABLED
-        if (timing) pending_rpcs.push_back({request.verb, t0});
-#endif
-        if (request.verb == proto::Verb::kShutdown && response.ok)
-          saw_shutdown = true;
-      } else {
-        OBS_COUNT("srv.rpc.errors", 1);
       }
-      if (!response.ok) OBS_COUNT("srv.rpc.errors", 1);
-      out += proto::frame(proto::encode(response));
+      if (slot_errors.empty()) break;  // flush fully drained (or unframed)
+
+      // Apply phase: the whole burst under one lock.
+#ifndef RESCHED_OBS_DISABLED
+      const bool timing = obs::metrics_enabled() && !batch.empty();
+      const std::int64_t t0 = timing ? obs::now_ns() : 0;
+#endif
+      if (!batch.empty()) {
+        std::unique_lock<std::mutex> lock(core_mu_);
+#ifndef RESCHED_OBS_DISABLED
+        if (timing) OBS_HIST("srv.core.lock_wait.ns", obs::now_ns() - t0);
+        OBS_HIST("srv.core.batch.frames",
+                 static_cast<std::int64_t>(batch.size()));
+#endif
+        const std::uint64_t lsn = core_.apply_batch(batch, batch_responses);
+        if (lsn > batch_lsn) batch_lsn = lsn;
+      }
+
+      // Merge phase: responses go out in frame order.
+      std::size_t bi = 0;
+      for (const std::optional<proto::Response>& error : slot_errors) {
+        const proto::Response& response =
+            error.has_value() ? *error : batch_responses[bi];
+        if (!error.has_value()) {
+#ifndef RESCHED_OBS_DISABLED
+          if (timing) pending_rpcs.push_back({batch[bi].verb, t0});
+#endif
+          if (batch[bi].verb == proto::Verb::kShutdown && response.ok)
+            saw_shutdown = true;
+          ++bi;
+        }
+        if (!response.ok) OBS_COUNT("srv.rpc.errors", 1);
+        out += proto::frame(proto::encode(response));
+      }
     }
     if (status == proto::FrameStatus::kCorrupt ||
         status == proto::FrameStatus::kOversized) {

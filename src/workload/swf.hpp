@@ -10,6 +10,8 @@
 #pragma once
 
 #include <iosfwd>
+#include <optional>
+#include <queue>
 #include <string>
 #include <vector>
 
@@ -57,6 +59,71 @@ Log read_swf(std::istream& in, const std::string& name,
 
 /// Convenience overload reading from a file path.
 Log read_swf_file(const std::string& path, const SwfReadOptions& opts = {});
+
+/// Streaming SWF reader: one job per next() call, bounded memory.
+///
+/// read_swf materializes the whole archive as a vector and sorts it; at
+/// multi-month PWA scale (millions of lines) that is hundreds of MB held
+/// just to feed a replay that consumes jobs in submit order anyway. This
+/// reader keeps only a bounded reorder buffer (a min-heap on submit time)
+/// and emits jobs in nondecreasing submit order as long as the archive's
+/// disorder distance stays within `reorder_window` lines — real SWF logs
+/// are submit-sorted or very nearly so. A job displaced further than the
+/// window is handled like a malformed line: skipped with a diagnostic, or
+/// resched::Error when opts.strict.
+///
+/// Line-level semantics (header parsing, field validation, -1 sentinels,
+/// skip_invalid, diagnostics) are shared with read_swf.
+class SwfStreamReader {
+ public:
+  static constexpr int kDefaultReorderWindow = 4096;
+
+  /// Borrows `in`; the stream must outlive the reader.
+  SwfStreamReader(std::istream& in, std::string name,
+                  const SwfReadOptions& opts = {},
+                  int reorder_window = kDefaultReorderWindow);
+
+  /// Next job in nondecreasing submit order; nullopt once the stream and
+  /// the reorder buffer are both exhausted.
+  std::optional<Job> next();
+
+  /// Platform size: cpus_override if set, else the MaxProcs/MaxNodes
+  /// header (headers precede jobs, so this is stable after construction
+  /// primes the buffer), else the max allocation observed so far, min 1.
+  int header_cpus() const;
+
+  /// Jobs emitted by next() so far.
+  long long emitted() const { return emitted_; }
+
+ private:
+  struct Pending {
+    Job job;
+    long long seq;  ///< input order, breaks submit ties deterministically
+  };
+  struct Later {
+    bool operator()(const Pending& a, const Pending& b) const {
+      if (a.job.submit != b.job.submit) return a.job.submit > b.job.submit;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Parses lines until the reorder buffer holds > reorder_window_ jobs
+  /// or the stream is exhausted.
+  void refill();
+
+  std::istream& in_;
+  std::string name_;
+  SwfReadOptions opts_;
+  int reorder_window_;
+  std::priority_queue<Pending, std::vector<Pending>, Later> buffer_;
+  int header_cpus_ = 0;
+  int max_alloc_ = 0;
+  int lineno_ = 0;
+  long long next_seq_ = 0;
+  long long emitted_ = 0;
+  double last_submit_ = 0.0;
+  bool exhausted_ = false;
+};
 
 /// Writes the log as SWF (fields the simulator does not track are -1).
 void write_swf(std::ostream& out, const Log& log);
