@@ -35,10 +35,17 @@ Current pairs / bars / ceilings:
     >= 10k RPCs/sec with a durable WAL (DESIGN.md §10 acceptance bar);
   * hot-path layout  — the small-profile flat scan beats the treap at the
     128-breakpoint crossover; the RESSCHED sweep at Table-4 scale sustains
-    >= 565 jobs/sec (2x the pre-PR 282 jobs/sec measurement); heap
-    allocations per RESSCHED job stay under the ceiling and the treap-node
-    arena performs zero chunk allocations in steady-state churn
-    (DESIGN.md §11 acceptance bars).
+    >= 650 jobs/sec (raised from 565 after the SIMD kernel layer); heap
+    allocations per job stay under the ceilings on the static, dynamic and
+    blind scheduling paths, and the treap-node arena performs zero chunk
+    allocations in steady-state churn (DESIGN.md §11 acceptance bars);
+  * SIMD kernels     — the dispatched bottom-level wavefront sweep beats
+    the scalar table by >= 1.3x on the dense layered DAG within the same
+    run (DESIGN.md §13 acceptance bar). The SIMD leg exports the kernel
+    layer's obs counters (kernels.dispatch.<isa>, kernels.bl_sweep_ns);
+    the counter-presence rule therefore also fails the gate when the
+    runner dispatches a different ISA than the one the baseline was
+    pinned on (re-pin on new hardware, see README "Perf CI").
 
 --self-test runs the checker against synthetic in-memory fixtures and
 exits 0 iff every failure mode actually fails (wired into the lint CI
@@ -59,14 +66,16 @@ SPEEDUP_PAIRS = [
      "PDES windowed replay speedup at 4 workers over 1"),
     ("BM_FitTreap/64", "BM_FitFlat/64", 1.05,
      "small-profile flat fast path at the 128-breakpoint crossover"),
+    ("BM_BlSweepScalar", "BM_BlSweepSimd", 1.3,
+     "SIMD bottom-level wavefront sweep over the scalar table"),
 ]
 
 # (benchmark, counter, required minimum counter value, label)
 THROUGHPUT_BARS = [
     ("BM_SubmitPipelined/8/real_time", "rpc_per_sec", 10000.0,
      "reschedd pipelined submit throughput (DESIGN.md §10 bar)"),
-    ("BM_ResschedSweep", "jobs_per_sec", 565.0,
-     "RESSCHED sweep at Table-4 scale (2x the pre-PR 282 jobs/sec)"),
+    ("BM_ResschedSweep", "jobs_per_sec", 650.0,
+     "RESSCHED sweep at Table-4 scale (raised from 565 by the SIMD kernels)"),
 ]
 
 # (benchmark, counter, maximum allowed counter value, label)
@@ -75,6 +84,10 @@ THROUGHPUT_BARS = [
 COUNTER_CEILINGS = [
     ("BM_ResschedSweep", "allocs_per_job", 64.0,
      "heap allocations per RESSCHED job (arena/SoA/scratch-buffer gate)"),
+    ("BM_DynamicSweep", "allocs_per_job", 64.0,
+     "heap allocations per dynamic-arrivals job (measured 15)"),
+    ("BM_BlindSweep", "allocs_per_job", 512.0,
+     "heap allocations per blind job incl. its calendar copy (measured 277)"),
     ("BM_ChurnSteadyState", "arena_chunk_allocs", 0.0,
      "treap-node arena chunk allocations in steady-state churn"),
 ]

@@ -40,7 +40,8 @@ BlindResult schedule_blind(const dag::Dag& dag, resv::BatchScheduler& batch,
 
   // Same phase 1 as the full-knowledge algorithm: BL_CPAR bottom levels.
   auto bl_alloc = cpa::allocations(dag, q_hist, params.cpa);
-  auto bl = dag::bottom_levels(dag, bl_alloc);
+  std::vector<double> bl;
+  dag::bottom_levels_into(dag, bl_alloc, bl);
   auto order = dag::order_by_decreasing(dag, bl);
   auto bound = bd_bounds(dag, p, q_hist, params.bd, params.cpa);
 

@@ -20,7 +20,8 @@ DynamicResult schedule_ressched_dynamic(
   // Phase 1 exactly as the static algorithm (computed before any arrival —
   // bottom levels do not depend on the calendar).
   auto bl_alloc = bl_allocations(dag, p, q_hist, params.bl, params.cpa);
-  auto bl = dag::bottom_levels(dag, bl_alloc);
+  std::vector<double> bl;
+  dag::bottom_levels_into(dag, bl_alloc, bl);
   auto order = dag::order_by_decreasing(dag, bl);
   auto bound = bd_bounds(dag, p, q_hist, params.bd, params.cpa);
 

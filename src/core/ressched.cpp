@@ -70,7 +70,8 @@ ResschedResult schedule_ressched(const dag::Dag& dag,
   // Phase 1: bottom levels under the BL_* allocation assumption.
   OBS_SPAN_NAMED(bl_span, "core.ressched.bottom_levels");
   auto bl_alloc = bl_allocations(dag, p, q_hist, params.bl, params.cpa);
-  auto bl = dag::bottom_levels(dag, bl_alloc);
+  std::vector<double> bl;
+  dag::bottom_levels_into(dag, bl_alloc, bl);
   auto order = dag::order_by_decreasing(dag, bl);
   bl_span.close();
 

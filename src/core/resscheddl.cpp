@@ -180,7 +180,8 @@ DeadlineContext make_deadline_context(const dag::Dag& dag, int p, int q_hist,
   ctx.cpa_alloc_q = cpa::allocations(dag, q_hist, cpa);
 
   // BL_CPAR bottom levels (§5.2), backward order: successors first.
-  auto bl = dag::bottom_levels(dag, ctx.cpa_alloc_q);
+  std::vector<double> bl;
+  dag::bottom_levels_into(dag, ctx.cpa_alloc_q, bl);
   ctx.order = dag::order_by_decreasing(dag, bl);
   std::reverse(ctx.order.begin(), ctx.order.end());
 

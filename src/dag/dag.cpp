@@ -90,6 +90,19 @@ Dag::Dag(std::vector<TaskCost> costs,
   for (int lvl : levels_) ++width[static_cast<std::size_t>(lvl)];
   max_width_ = *std::max_element(width.begin(), width.end());
 
+  // Level buckets (counting sort over the topological order, so each
+  // bucket lists its tasks in topo order): the wavefronts of the
+  // level-synchronous kernel sweeps.
+  level_off_.assign(static_cast<std::size_t>(num_levels_) + 1, 0);
+  for (int lvl : levels_) ++level_off_[static_cast<std::size_t>(lvl) + 1];
+  std::partial_sum(level_off_.begin(), level_off_.end(), level_off_.begin());
+  level_order_.resize(static_cast<std::size_t>(n));
+  std::vector<int> level_cursor(level_off_.begin(), level_off_.end() - 1);
+  for (int v : topo_)
+    level_order_[static_cast<std::size_t>(
+        level_cursor[static_cast<std::size_t>(
+            levels_[static_cast<std::size_t>(v)])]++)] = v;
+
   // SoA mirrors of the cost parameters for the streaming sweeps.
   seq_times_.resize(static_cast<std::size_t>(n));
   alphas_.resize(static_cast<std::size_t>(n));
@@ -108,50 +121,42 @@ void exec_times_into(const Dag& dag, std::span<const int> alloc,
                      std::vector<double>& exec) {
   RESCHED_CHECK(static_cast<int>(alloc.size()) == dag.size(),
                 "allocation vector size must match DAG size");
-  const std::span<const double> seq = dag.seq_times();
-  const std::span<const double> alpha = dag.alphas();
-  exec.resize(alloc.size());
-  for (std::size_t v = 0; v < alloc.size(); ++v) {
+  for (std::size_t v = 0; v < alloc.size(); ++v)
     RESCHED_CHECK(alloc[v] >= 1, "task needs at least one processor");
-    // Expression-for-expression dag::exec_time, streamed off the SoA arrays.
-    exec[v] =
-        seq[v] * (alpha[v] + (1.0 - alpha[v]) / static_cast<double>(alloc[v]));
-  }
+  exec.resize(alloc.size());
+  // Expression-for-expression dag::exec_time, streamed off the SoA arrays
+  // by the dispatched kernel (byte-identical at every ISA level).
+  kernels::exec_times(dag.seq_times().data(), dag.alphas().data(),
+                      alloc.data(), alloc.size(), exec.data());
 }
 
 void bottom_levels_into(const Dag& dag, std::span<const double> exec,
                         std::vector<double>& bl) {
   RESCHED_CHECK(static_cast<int>(exec.size()) == dag.size(),
                 "exec-time vector size must match DAG size");
-  bl.assign(exec.size(), 0.0);
-  const auto& topo = dag.topological_order();
-  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
-    int v = *it;
-    double best = 0.0;
-    for (int s : dag.successors(v))
-      best = std::max(best, bl[static_cast<std::size_t>(s)]);
-    bl[static_cast<std::size_t>(v)] = exec[static_cast<std::size_t>(v)] + best;
-  }
+  bl.resize(exec.size());
+  kernels::bl_sweep(dag.kernel_view(), exec.data(), bl.data());
+}
+
+void bottom_levels_into(const Dag& dag, std::span<const int> alloc,
+                        std::vector<double>& bl) {
+  exec_times_into(dag, alloc, bl);
+  // In-place: the sweep consumes each task's exec entry exactly when it
+  // produces its bottom level (kernels.hpp documents the aliasing).
+  kernels::bl_sweep(dag.kernel_view(), bl.data(), bl.data());
 }
 
 void top_levels_into(const Dag& dag, std::span<const double> exec,
                      std::vector<double>& tl) {
   RESCHED_CHECK(static_cast<int>(exec.size()) == dag.size(),
                 "exec-time vector size must match DAG size");
-  tl.assign(exec.size(), 0.0);
-  for (int v : dag.topological_order())
-    for (int s : dag.successors(v))
-      tl[static_cast<std::size_t>(s)] =
-          std::max(tl[static_cast<std::size_t>(s)],
-                   tl[static_cast<std::size_t>(v)] +
-                       exec[static_cast<std::size_t>(v)]);
+  tl.resize(exec.size());
+  kernels::tl_sweep(dag.kernel_view(), exec.data(), tl.data());
 }
 
 std::vector<double> bottom_levels(const Dag& dag, std::span<const int> alloc) {
-  std::vector<double> exec;
-  exec_times_into(dag, alloc, exec);
   std::vector<double> bl;
-  bottom_levels_into(dag, exec, bl);
+  bottom_levels_into(dag, alloc, bl);
   return bl;
 }
 

@@ -1,0 +1,41 @@
+// Internal dispatch table shared between kernels.cpp and the ISA-specific
+// translation units. Everything here is POD and declaration-only: the
+// per-ISA TUs are compiled with -msse2/-mavx2, and the only symbols they
+// may export are the *_table() accessors below (their kernel functions are
+// internal-linkage, reached through the returned function-pointer table),
+// so no ISA-contaminated COMDAT symbol can leak into — or be merged with —
+// the rest of the build.
+#pragma once
+
+#include <cstddef>
+
+#include "src/kernels/kernels.hpp"
+
+namespace resched::kernels::detail {
+
+/// std::optional<double> without the vague-linkage template machinery —
+/// the fit kernels return it across the TU boundary.
+struct FitResult {
+  bool found = false;
+  double start = 0.0;
+};
+
+struct KernelTable {
+  void (*exec_times)(const double* seq, const double* alpha, const int* alloc,
+                     std::size_t n, double* exec);
+  void (*bl_sweep)(const DagView& dag, const double* exec, double* bl);
+  void (*tl_sweep)(const DagView& dag, const double* exec, double* tl);
+  FitResult (*earliest_fit)(const double* keys, const int* values,
+                            std::size_t n, int procs, double duration,
+                            double not_before);
+  FitResult (*latest_fit)(const double* keys, const int* values, std::size_t n,
+                          int procs, double duration, double deadline,
+                          double not_before);
+};
+
+#if defined(RESCHED_SIMD_X86)
+const KernelTable* sse2_table();
+const KernelTable* avx2_table();
+#endif
+
+}  // namespace resched::kernels::detail

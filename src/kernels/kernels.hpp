@@ -1,0 +1,126 @@
+// Runtime-dispatched SIMD kernels for the scheduler's innermost loops
+// (DESIGN.md §13).
+//
+// Three kernel families cover the measured hot spots of the RESSCHED /
+// RESSCHEDDL paths and everything stacked on them (online engine, shards,
+// reschedd, PDES replay):
+//
+//   * exec_times       — elementwise exec-time evaluation streamed off the
+//                        Dag's seq_times()/alphas() SoA arrays;
+//   * bl_sweep/tl_sweep — bottom-level / top-level sweeps, batched by topo
+//                        depth (level-synchronous wavefronts) so each
+//                        wavefront is an elementwise max-over-neighbours +
+//                        add off the CSR adjacency;
+//   * earliest/latest_fit_flat — the flat-profile fit scans used below the
+//                        small-profile crossover, reformulated as runs of
+//                        compare + movemask first/last-window searches.
+//
+// Byte-identity is the contract, not a best effort: every SIMD variant
+// produces bit-for-bit the same output as the scalar table (which is the
+// pre-kernel code moved verbatim), so golden pins, merged traces, and
+// calendar artifacts are identical at every dispatch level. The arguments
+// are spelled out in DESIGN.md §13; in short, the elementwise arithmetic
+// (sub/div/add/mul/int-convert) is correctly rounded identically per lane,
+// and max over non-NaN doubles is exact and order-insensitive, so the
+// wavefront reassociation cannot change a single bit.
+//
+// Dispatch is decided once, at first use: a CMake toggle (RESCHED_SIMD)
+// gates whether the SSE2/AVX2 translation units are built at all, cpuid
+// (via __builtin_cpu_supports) picks the best level the machine actually
+// has, and the RESCHED_SIMD environment variable ("auto", "scalar"/"off",
+// "sse2", "avx2") overrides the pick for A/B runs. Each kernel call bumps
+// an obs counter (kernels.dispatch.<isa>) so traces record what actually
+// ran; tests pin a level with ScopedIsa.
+//
+// This header is included from translation units compiled with -msse2 /
+// -mavx2. To keep those TUs from leaking ISA-contaminated COMDAT symbols
+// into the rest of the build, it deliberately defines no inline functions
+// — declarations only, all definitions live in kernels.cpp.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+namespace resched::kernels {
+
+/// Dispatch levels, weakest first. kSse2/kAvx2 exist only on x86 builds
+/// with RESCHED_SIMD=ON; elsewhere isa_supported() reports them false.
+enum class Isa { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+const char* to_string(Isa isa);
+
+/// True when `isa`'s kernel table is compiled in and the CPU supports it.
+bool isa_supported(Isa isa);
+
+/// Strongest supported level (what "auto" resolves to).
+Isa best_supported_isa();
+
+/// The level kernel calls currently dispatch to. First call resolves the
+/// RESCHED_SIMD environment override ("auto"/"scalar"/"off"/"sse2"/"avx2")
+/// against cpuid; throws resched::Error on an unknown value or a forced
+/// level the machine lacks.
+Isa active_isa();
+
+/// Pins dispatch to `isa` (must be supported). Applies process-wide; meant
+/// for benches and differential tests, not concurrent use.
+void force_isa(Isa isa);
+
+/// RAII force_isa: restores the previous level on destruction.
+class ScopedIsa {
+ public:
+  explicit ScopedIsa(Isa isa);
+  ScopedIsa(const ScopedIsa&) = delete;
+  ScopedIsa& operator=(const ScopedIsa&) = delete;
+  ~ScopedIsa();
+
+ private:
+  Isa prev_;
+};
+
+/// Raw-pointer view of the Dag arrays the sweeps consume (POD on purpose:
+/// it crosses into the ISA-specific TUs). All arrays outlive the call.
+struct DagView {
+  std::size_t n = 0;            ///< task count
+  const int* topo = nullptr;    ///< topological order, n entries
+  const int* pred_off = nullptr;   ///< CSR predecessor offsets, n + 1
+  const int* pred_flat = nullptr;  ///< CSR predecessor endpoints
+  const int* succ_off = nullptr;   ///< CSR successor offsets, n + 1
+  const int* succ_flat = nullptr;  ///< CSR successor endpoints
+  const int* level_order = nullptr;  ///< tasks sorted by level, n entries
+  const int* level_off = nullptr;    ///< level bucket offsets, num_levels + 1
+  std::size_t num_levels = 0;
+};
+
+/// exec[v] = seq[v] * (alpha[v] + (1 - alpha[v]) / alloc[v]) for v in
+/// [0, n). Caller guarantees alloc[v] >= 1.
+void exec_times(const double* seq, const double* alpha, const int* alloc,
+                std::size_t n, double* exec);
+
+/// bl[v] = exec[v] + max over successors s of bl[s] (0 with no
+/// successors). `bl` may alias `exec`: each task's exec entry is consumed
+/// exactly when its bottom level is produced, and every neighbour read is
+/// of an already-converted entry.
+void bl_sweep(const DagView& dag, const double* exec, double* bl);
+
+/// tl[v] = max over predecessors q of (tl[q] + exec[q]) (0 with no
+/// predecessors). `tl` must not alias `exec`.
+void tl_sweep(const DagView& dag, const double* exec, double* tl);
+
+/// Earliest start >= not_before of a procs-wide, duration-long window in
+/// the flattened step function (keys[0] is the -infinity sentinel; values
+/// are raw availability). Byte-identical to the CalendarSnapshot scan;
+/// nullopt only when no segment run ever satisfies the request (the caller
+/// asserts against that for procs <= capacity profiles).
+std::optional<double> earliest_fit_flat(const double* keys, const int* values,
+                                        std::size_t n, int procs,
+                                        double duration, double not_before);
+
+/// Latest start with start >= not_before and start + duration <= deadline,
+/// byte-identical to the CalendarSnapshot backward scan (including the
+/// one-ulp nextafter nudge).
+std::optional<double> latest_fit_flat(const double* keys, const int* values,
+                                      std::size_t n, int procs,
+                                      double duration, double deadline,
+                                      double not_before);
+
+}  // namespace resched::kernels

@@ -1,0 +1,191 @@
+// AVX2 kernel table: 4-wide double arithmetic with hardware gathers for
+// the CSR sweeps, 8-wide integer compare + movemask window searches for
+// the flat-profile fit scans.
+//
+// Compiled with -mavx2 only (no -mfma): there is no a*b+c tree in any
+// kernel expression, and without -mfma the compiler cannot contract one
+// behind our back either, so every lane performs the same correctly-
+// rounded sub/div/add/mul/convert sequence as the scalar table. Everything
+// except the table accessor has internal linkage (see kernel_table.hpp).
+#include <immintrin.h>
+
+#include <cstddef>
+
+#include "src/kernels/kernel_table.hpp"
+#include "src/kernels/scan_common.hpp"
+
+namespace resched::kernels::detail {
+namespace {
+
+void exec_times_avx2(const double* seq, const double* alpha, const int* alloc,
+                     std::size_t n, double* exec) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  std::size_t v = 0;
+  for (; v + 4 <= n; v += 4) {
+    const __m256d np = _mm256_cvtepi32_pd(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(alloc + v)));
+    const __m256d a = _mm256_loadu_pd(alpha + v);
+    const __m256d s = _mm256_loadu_pd(seq + v);
+    const __m256d frac = _mm256_div_pd(_mm256_sub_pd(one, a), np);
+    _mm256_storeu_pd(exec + v, _mm256_mul_pd(s, _mm256_add_pd(a, frac)));
+  }
+  for (; v < n; ++v)
+    exec[v] =
+        seq[v] * (alpha[v] + (1.0 - alpha[v]) / static_cast<double>(alloc[v]));
+}
+
+/// max over gathered neighbour values; vgatherdpd turns the CSR index
+/// indirection into one instruction and packed max severs the scalar
+/// loop's serial maxsd dependency chain.
+struct Avx2Reduce {
+  double max_gather(const double* a, const int* idx, int cnt) const {
+    double best = 0.0;
+    int i = 0;
+    if (cnt >= 4) {
+      __m256d acc = _mm256_setzero_pd();
+      for (; i + 4 <= cnt; i += 4) {
+        const __m128i ix =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + i));
+        acc = _mm256_max_pd(acc, _mm256_i32gather_pd(a, ix, 8));
+      }
+      best = horizontal_max(acc);
+    }
+    for (; i < cnt; ++i) best = best < a[idx[i]] ? a[idx[i]] : best;
+    return best;
+  }
+
+  double max_gather_add(const double* a, const double* b, const int* idx,
+                        int cnt) const {
+    double best = 0.0;
+    int i = 0;
+    if (cnt >= 4) {
+      __m256d acc = _mm256_setzero_pd();
+      for (; i + 4 <= cnt; i += 4) {
+        const __m128i ix =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + i));
+        const __m256d av = _mm256_i32gather_pd(a, ix, 8);
+        const __m256d bv = _mm256_i32gather_pd(b, ix, 8);
+        acc = _mm256_max_pd(acc, _mm256_add_pd(av, bv));
+      }
+      best = horizontal_max(acc);
+    }
+    for (; i < cnt; ++i) {
+      const double cand = a[idx[i]] + b[idx[i]];
+      best = best < cand ? cand : best;
+    }
+    return best;
+  }
+
+ private:
+  static double horizontal_max(__m256d acc) {
+    __m128d m =
+        _mm_max_pd(_mm256_castpd256_pd128(acc), _mm256_extractf128_pd(acc, 1));
+    m = _mm_max_sd(m, _mm_unpackhi_pd(m, m));
+    return _mm_cvtsd_f64(m);
+  }
+};
+
+/// 8-wide compare + movemask first/last-window searches. v >= procs is
+/// tested as v > procs - 1 (procs >= 1, so no underflow).
+struct Avx2Search {
+  std::size_t first_ge(const int* v, std::size_t from, std::size_t n,
+                       int procs) const {
+    const __m256i lim = _mm256_set1_epi32(procs - 1);
+    std::size_t i = from;
+    for (; i + 8 <= n; i += 8) {
+      const __m256i x =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+      const int mask =
+          _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpgt_epi32(x, lim)));
+      if (mask != 0)
+        return i + static_cast<std::size_t>(
+                       __builtin_ctz(static_cast<unsigned>(mask)));
+    }
+    for (; i < n; ++i)
+      if (v[i] >= procs) return i;
+    return n;
+  }
+
+  std::size_t first_lt(const int* v, std::size_t from, std::size_t n,
+                       int procs) const {
+    const __m256i lim = _mm256_set1_epi32(procs);
+    std::size_t i = from;
+    for (; i + 8 <= n; i += 8) {
+      const __m256i x =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+      const int mask =
+          _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpgt_epi32(lim, x)));
+      if (mask != 0)
+        return i + static_cast<std::size_t>(
+                       __builtin_ctz(static_cast<unsigned>(mask)));
+    }
+    for (; i < n; ++i)
+      if (v[i] < procs) return i;
+    return n;
+  }
+
+  std::ptrdiff_t last_ge(const int* v, std::ptrdiff_t hi, int procs) const {
+    const __m256i lim = _mm256_set1_epi32(procs - 1);
+    std::ptrdiff_t i = hi;
+    for (; i >= 7; i -= 8) {
+      const __m256i x =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i - 7));
+      const int mask =
+          _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpgt_epi32(x, lim)));
+      if (mask != 0)
+        return i - 7 + (31 - __builtin_clz(static_cast<unsigned>(mask)));
+    }
+    for (; i >= 0; --i)
+      if (v[i] >= procs) return i;
+    return -1;
+  }
+
+  std::ptrdiff_t last_lt(const int* v, std::ptrdiff_t hi, int procs) const {
+    const __m256i lim = _mm256_set1_epi32(procs);
+    std::ptrdiff_t i = hi;
+    for (; i >= 7; i -= 8) {
+      const __m256i x =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i - 7));
+      const int mask =
+          _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpgt_epi32(lim, x)));
+      if (mask != 0)
+        return i - 7 + (31 - __builtin_clz(static_cast<unsigned>(mask)));
+    }
+    for (; i >= 0; --i)
+      if (v[i] < procs) return i;
+    return -1;
+  }
+};
+
+void bl_sweep_avx2(const DagView& dag, const double* exec, double* bl) {
+  bl_sweep_generic(dag, exec, bl, Avx2Reduce{});
+}
+
+void tl_sweep_avx2(const DagView& dag, const double* exec, double* tl) {
+  tl_sweep_generic(dag, exec, tl, Avx2Reduce{});
+}
+
+FitResult earliest_fit_avx2(const double* keys, const int* values,
+                            std::size_t n, int procs, double duration,
+                            double not_before) {
+  return earliest_fit_generic(keys, values, n, procs, duration, not_before,
+                              Avx2Search{});
+}
+
+FitResult latest_fit_avx2(const double* keys, const int* values, std::size_t n,
+                          int procs, double duration, double deadline,
+                          double not_before) {
+  return latest_fit_generic(keys, values, n, procs, duration, deadline,
+                            not_before, Avx2Search{});
+}
+
+constexpr KernelTable kAvx2Table = {
+    exec_times_avx2, bl_sweep_avx2, tl_sweep_avx2, earliest_fit_avx2,
+    latest_fit_avx2,
+};
+
+}  // namespace
+
+const KernelTable* avx2_table() { return &kAvx2Table; }
+
+}  // namespace resched::kernels::detail

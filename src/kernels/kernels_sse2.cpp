@@ -1,0 +1,183 @@
+// SSE2 kernel table. Compiled with -msse2 (a no-op on x86-64, where SSE2
+// is baseline — this TU is the portable floor of the SIMD ladder, and the
+// one machines without AVX2 dispatch to).
+//
+// Everything except the table accessor lives in an anonymous namespace so
+// no SSE2-compiled symbol has external linkage (see kernel_table.hpp).
+// Arithmetic notes for byte-identity: _mm_sub/div/add/mul_pd and
+// _mm_cvtepi32_pd are correctly rounded per lane exactly like their scalar
+// counterparts; _mm_max_pd's operand-order quirks (±0, NaN) are
+// unreachable because every swept value is a finite sum of non-negative
+// products (DESIGN.md §13).
+#include <emmintrin.h>
+
+#include <cstddef>
+
+#include "src/kernels/kernel_table.hpp"
+#include "src/kernels/scan_common.hpp"
+
+namespace resched::kernels::detail {
+namespace {
+
+void exec_times_sse2(const double* seq, const double* alpha, const int* alloc,
+                     std::size_t n, double* exec) {
+  const __m128d one = _mm_set1_pd(1.0);
+  std::size_t v = 0;
+  for (; v + 2 <= n; v += 2) {
+    const __m128d np = _mm_cvtepi32_pd(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(alloc + v)));
+    const __m128d a = _mm_loadu_pd(alpha + v);
+    const __m128d s = _mm_loadu_pd(seq + v);
+    const __m128d frac = _mm_div_pd(_mm_sub_pd(one, a), np);
+    _mm_storeu_pd(exec + v, _mm_mul_pd(s, _mm_add_pd(a, frac)));
+  }
+  for (; v < n; ++v)
+    exec[v] =
+        seq[v] * (alpha[v] + (1.0 - alpha[v]) / static_cast<double>(alloc[v]));
+}
+
+/// SSE2 has no gather: neighbour values are paired with scalar loads and
+/// reduced with packed max, which still overlaps the loads and halves the
+/// serial max dependency chain of the scalar loop.
+struct Sse2Reduce {
+  double max_gather(const double* a, const int* idx, int cnt) const {
+    double best = 0.0;
+    int i = 0;
+    if (cnt >= 2) {
+      __m128d acc = _mm_setzero_pd();
+      for (; i + 2 <= cnt; i += 2)
+        acc = _mm_max_pd(acc, _mm_set_pd(a[idx[i + 1]], a[idx[i]]));
+      acc = _mm_max_sd(acc, _mm_unpackhi_pd(acc, acc));
+      best = _mm_cvtsd_f64(acc);
+    }
+    for (; i < cnt; ++i) best = best < a[idx[i]] ? a[idx[i]] : best;
+    return best;
+  }
+
+  double max_gather_add(const double* a, const double* b, const int* idx,
+                        int cnt) const {
+    double best = 0.0;
+    int i = 0;
+    if (cnt >= 2) {
+      __m128d acc = _mm_setzero_pd();
+      for (; i + 2 <= cnt; i += 2) {
+        const __m128d av = _mm_set_pd(a[idx[i + 1]], a[idx[i]]);
+        const __m128d bv = _mm_set_pd(b[idx[i + 1]], b[idx[i]]);
+        acc = _mm_max_pd(acc, _mm_add_pd(av, bv));
+      }
+      acc = _mm_max_sd(acc, _mm_unpackhi_pd(acc, acc));
+      best = _mm_cvtsd_f64(acc);
+    }
+    for (; i < cnt; ++i) {
+      const double cand = a[idx[i]] + b[idx[i]];
+      best = best < cand ? cand : best;
+    }
+    return best;
+  }
+};
+
+/// 4-wide compare + movemask first/last-window searches over the
+/// availability values. v >= procs is tested as v > procs - 1 (procs >= 1,
+/// so no underflow) because SSE2 only has signed greater-than.
+struct Sse2Search {
+  std::size_t first_ge(const int* v, std::size_t from, std::size_t n,
+                       int procs) const {
+    const __m128i lim = _mm_set1_epi32(procs - 1);
+    std::size_t i = from;
+    for (; i + 4 <= n; i += 4) {
+      const __m128i x =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + i));
+      const int mask =
+          _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpgt_epi32(x, lim)));
+      if (mask != 0)
+        return i + static_cast<std::size_t>(
+                       __builtin_ctz(static_cast<unsigned>(mask)));
+    }
+    for (; i < n; ++i)
+      if (v[i] >= procs) return i;
+    return n;
+  }
+
+  std::size_t first_lt(const int* v, std::size_t from, std::size_t n,
+                       int procs) const {
+    const __m128i lim = _mm_set1_epi32(procs);
+    std::size_t i = from;
+    for (; i + 4 <= n; i += 4) {
+      const __m128i x =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + i));
+      const int mask =
+          _mm_movemask_ps(_mm_castsi128_ps(_mm_cmplt_epi32(x, lim)));
+      if (mask != 0)
+        return i + static_cast<std::size_t>(
+                       __builtin_ctz(static_cast<unsigned>(mask)));
+    }
+    for (; i < n; ++i)
+      if (v[i] < procs) return i;
+    return n;
+  }
+
+  std::ptrdiff_t last_ge(const int* v, std::ptrdiff_t hi, int procs) const {
+    const __m128i lim = _mm_set1_epi32(procs - 1);
+    std::ptrdiff_t i = hi;
+    for (; i >= 3; i -= 4) {
+      const __m128i x =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + i - 3));
+      const int mask =
+          _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpgt_epi32(x, lim)));
+      if (mask != 0)
+        return i - 3 + (31 - __builtin_clz(static_cast<unsigned>(mask)));
+    }
+    for (; i >= 0; --i)
+      if (v[i] >= procs) return i;
+    return -1;
+  }
+
+  std::ptrdiff_t last_lt(const int* v, std::ptrdiff_t hi, int procs) const {
+    const __m128i lim = _mm_set1_epi32(procs);
+    std::ptrdiff_t i = hi;
+    for (; i >= 3; i -= 4) {
+      const __m128i x =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + i - 3));
+      const int mask =
+          _mm_movemask_ps(_mm_castsi128_ps(_mm_cmplt_epi32(x, lim)));
+      if (mask != 0)
+        return i - 3 + (31 - __builtin_clz(static_cast<unsigned>(mask)));
+    }
+    for (; i >= 0; --i)
+      if (v[i] < procs) return i;
+    return -1;
+  }
+};
+
+void bl_sweep_sse2(const DagView& dag, const double* exec, double* bl) {
+  bl_sweep_generic(dag, exec, bl, Sse2Reduce{});
+}
+
+void tl_sweep_sse2(const DagView& dag, const double* exec, double* tl) {
+  tl_sweep_generic(dag, exec, tl, Sse2Reduce{});
+}
+
+FitResult earliest_fit_sse2(const double* keys, const int* values,
+                            std::size_t n, int procs, double duration,
+                            double not_before) {
+  return earliest_fit_generic(keys, values, n, procs, duration, not_before,
+                              Sse2Search{});
+}
+
+FitResult latest_fit_sse2(const double* keys, const int* values, std::size_t n,
+                          int procs, double duration, double deadline,
+                          double not_before) {
+  return latest_fit_generic(keys, values, n, procs, duration, deadline,
+                            not_before, Sse2Search{});
+}
+
+constexpr KernelTable kSse2Table = {
+    exec_times_sse2, bl_sweep_sse2, tl_sweep_sse2, earliest_fit_sse2,
+    latest_fit_sse2,
+};
+
+}  // namespace
+
+const KernelTable* sse2_table() { return &kSse2Table; }
+
+}  // namespace resched::kernels::detail

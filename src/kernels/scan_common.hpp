@@ -1,0 +1,174 @@
+// Generic drivers shared by every dispatch level: the run-based flat-fit
+// scans and the level-synchronous wavefront sweeps, templated over small
+// search / reduce policies that each ISA TU supplies.
+//
+// Every function template here is declared `static`, which gives each
+// instantiation internal linkage: the copy compiled with -mavx2 stays
+// private to kernels_avx2.cpp instead of becoming a COMDAT symbol the
+// linker could substitute into scalar-only code (or vice versa).
+//
+// The run-based fit scans are provably byte-identical to the per-segment
+// CalendarSnapshot scans (the scalar table, which is that code verbatim):
+//
+//   * earliest — the per-segment scan only ever returns from the first
+//     feasible segment's clamped start (run_start); the return condition
+//     `run_start + duration <= seg_end` is monotone in seg_end, and the
+//     largest seg_end a feasible run reaches is the key of the first
+//     infeasible segment after it (+inf past the end). So "find run start,
+//     check against run end, restart after the run" visits exactly the
+//     same candidates and returns exactly the same double.
+//   * latest — within a feasible run the candidate start is a constant
+//     (the nudged run_end - duration), so the per-segment `start >=
+//     seg_start` test first succeeds against the run's first segment key,
+//     and the per-step early-exit test `run_end - duration < not_before`
+//     is constant per run: checking it once per failed run is equivalent
+//     to checking it after every --i. The empty clamped segment at the
+//     deadline (keys[i] == deadline) folds into the same run_end because
+//     min(keys[i+1], deadline) == min(keys[i], deadline) == deadline there.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+#include "src/kernels/kernel_table.hpp"
+
+namespace resched::kernels::detail {
+
+/// Index of the segment containing t: the last key <= t. Hand-rolled
+/// upper_bound (same comparison sequence) so the ISA TUs do not instantiate
+/// the std::upper_bound template; the -inf sentinel guarantees validity.
+static inline std::size_t segment_index_raw(const double* keys, std::size_t n,
+                                            double t) {
+  std::size_t lo = 0;
+  std::size_t len = n;
+  while (len > 0) {
+    std::size_t half = len / 2;
+    std::size_t mid = lo + half;
+    if (keys[mid] <= t) {
+      lo = mid + 1;
+      len -= half + 1;
+    } else {
+      len = half;
+    }
+  }
+  return lo - 1;
+}
+
+/// Search policy contract:
+///   first_ge(v, from, n, procs)  — first i in [from, n) with v[i] >= procs,
+///                                  else n;
+///   first_lt(v, from, n, procs)  — first i in [from, n) with v[i] <  procs,
+///                                  else n;
+///   last_ge(v, hi, procs)        — last i in [0, hi] with v[i] >= procs,
+///                                  else -1 (hi < 0 allowed);
+///   last_lt(v, hi, procs)        — last i in [0, hi] with v[i] <  procs,
+///                                  else -1 (hi < 0 allowed).
+template <class Search>
+static FitResult earliest_fit_generic(const double* keys, const int* values,
+                                      std::size_t n, int procs,
+                                      double duration, double not_before,
+                                      Search search) {
+  constexpr double kPosInf = std::numeric_limits<double>::infinity();
+  std::size_t i = segment_index_raw(keys, n, not_before);
+  while (i < n) {
+    const std::size_t j = search.first_ge(values, i, n, procs);
+    if (j >= n) return {};
+    // Clamp the run start to not_before — only the segment containing
+    // not_before can start before it (keys are strictly increasing).
+    const double run_start = keys[j] < not_before ? not_before : keys[j];
+    const std::size_t k = search.first_lt(values, j + 1, n, procs);
+    const double run_end = k < n ? keys[k] : kPosInf;
+    // Direct comparison (not run_end - run_start >= duration): the window
+    // [start, start + duration) must not overshoot the feasible run by a
+    // rounding ulp, or back-to-back reservations would overlap.
+    if (run_start + duration <= run_end) return {true, run_start};
+    i = k + 1;
+  }
+  return {};
+}
+
+template <class Search>
+static FitResult latest_fit_generic(const double* keys, const int* values,
+                                    std::size_t n, int procs, double duration,
+                                    double deadline, double not_before,
+                                    Search search) {
+  constexpr double kPosInf = std::numeric_limits<double>::infinity();
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  if (deadline - duration < not_before) return {};
+  auto i = static_cast<std::ptrdiff_t>(segment_index_raw(keys, n, deadline));
+  while (i >= 0) {
+    const std::ptrdiff_t j = search.last_ge(values, i, procs);
+    if (j < 0) return {};
+    const double next_key =
+        static_cast<std::size_t>(j) + 1 < n ? keys[j + 1] : kPosInf;
+    const double run_end = deadline < next_key ? deadline : next_key;
+    // Nudge down until start + duration fits inside the run exactly:
+    // run_end - duration can round up by an ulp, which would overlap a
+    // reservation beginning at run_end.
+    double start = run_end - duration;
+    while (start + duration > run_end) start = std::nextafter(start, kNegInf);
+    const std::ptrdiff_t m = search.last_lt(values, j - 1, procs);
+    const double run_start = m >= 0 ? keys[m + 1] : keys[0];
+    if (start >= run_start) {
+      // Feasible within this run; honour not_before: scanning earlier
+      // segments can only move the start earlier, so fail hard here.
+      return start >= not_before ? FitResult{true, start} : FitResult{};
+    }
+    // The run is too short. Any later run ends at or before this run's
+    // start, so its (un-nudged) candidate start can only shrink; once it
+    // falls below not_before nothing further can succeed.
+    if (run_end - duration < not_before) return {};
+    i = m - 1;
+  }
+  return {};
+}
+
+/// Reduce policy contract:
+///   max_gather(a, idx, cnt)         — max(0.0, a[idx[0]], ..,
+///                                     a[idx[cnt-1]]);
+///   max_gather_add(a, b, idx, cnt)  — max(0.0, a[idx[i]] + b[idx[i]] ..).
+/// Both must evaluate each a[.] + b[.] with one correctly-rounded add (no
+/// reassociation, no FMA contraction); the max itself is order-free.
+///
+/// Level-synchronous bottom-level sweep: levels deepest-first, so every
+/// successor (strictly deeper by the longest-path level invariant) is
+/// final when a task is processed. Within a level tasks are independent.
+/// `bl` may alias `exec` (see kernels.hpp).
+template <class Reduce>
+static void bl_sweep_generic(const DagView& dag, const double* exec,
+                             double* bl, Reduce reduce) {
+  for (std::size_t lvl = dag.num_levels; lvl-- > 0;) {
+    const int* it = dag.level_order + dag.level_off[lvl];
+    const int* end = dag.level_order + dag.level_off[lvl + 1];
+    for (; it != end; ++it) {
+      const int v = *it;
+      const int off = dag.succ_off[v];
+      const int cnt = dag.succ_off[v + 1] - off;
+      bl[v] = exec[v] + reduce.max_gather(bl, dag.succ_flat + off, cnt);
+    }
+  }
+}
+
+/// Level-synchronous top-level sweep, pull form: tl[v] = max over
+/// predecessors q of (tl[q] + exec[q]). Shallowest level first, so every
+/// predecessor is final. The scalar push form computes the max of exactly
+/// the same candidate set {tl[q] + exec[q]} ∪ {0.0} with the same
+/// per-candidate add, and max is order-insensitive, so the result is
+/// byte-identical.
+template <class Reduce>
+static void tl_sweep_generic(const DagView& dag, const double* exec,
+                             double* tl, Reduce reduce) {
+  for (std::size_t lvl = 0; lvl < dag.num_levels; ++lvl) {
+    const int* it = dag.level_order + dag.level_off[lvl];
+    const int* end = dag.level_order + dag.level_off[lvl + 1];
+    for (; it != end; ++it) {
+      const int v = *it;
+      const int off = dag.pred_off[v];
+      const int cnt = dag.pred_off[v + 1] - off;
+      tl[v] = reduce.max_gather_add(tl, exec, dag.pred_flat + off, cnt);
+    }
+  }
+}
+
+}  // namespace resched::kernels::detail

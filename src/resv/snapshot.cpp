@@ -1,18 +1,10 @@
 #include "src/resv/snapshot.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
-
+#include "src/kernels/kernels.hpp"
 #include "src/resv/profile.hpp"
 #include "src/util/error.hpp"
 
 namespace resched::resv {
-
-namespace {
-constexpr double kNegInf = -std::numeric_limits<double>::infinity();
-constexpr double kPosInf = std::numeric_limits<double>::infinity();
-}  // namespace
 
 bool CalendarSnapshot::refresh(const AvailabilityProfile& profile) {
   if (fresh(profile)) return false;
@@ -26,17 +18,13 @@ bool CalendarSnapshot::fresh(const AvailabilityProfile& profile) const {
   return epoch_ != 0 && epoch_ == profile.epoch();
 }
 
-// Index of the segment containing t: the last key <= t. Mirrors the map
-// idiom `--steps_.upper_bound(t)`; the -inf sentinel guarantees validity.
-std::size_t CalendarSnapshot::segment_index(double t) const {
-  auto it = std::upper_bound(keys_.begin(), keys_.end(), t);
-  return static_cast<std::size_t>(it - keys_.begin()) - 1;
-}
-
-// The scans below are the LinearProfile oracle's scans verbatim, with map
-// iterators replaced by array indices — same segment sequence (redundant
-// breakpoints included), same clamps, same comparisons, same one-ulp nudge
-// — so every answer is byte-identical to the oracle and the treap.
+// The scans are the dispatched flat-fit kernels (src/kernels/): the scalar
+// table is this class's pre-kernel per-segment scan — itself the
+// LinearProfile oracle's scan verbatim, with map iterators replaced by
+// array indices — and the SIMD tables are byte-identical to it by the
+// run-reformulation argument in DESIGN.md §13 (and differentially fuzzed
+// in tests/kernels_test.cpp). So every answer remains byte-identical to
+// the oracle and the treap at every dispatch level.
 
 std::optional<double> CalendarSnapshot::earliest_fit(int procs,
                                                      double duration,
@@ -46,26 +34,14 @@ std::optional<double> CalendarSnapshot::earliest_fit(int procs,
   RESCHED_CHECK(!keys_.empty(), "snapshot queried before refresh()");
   if (procs > capacity_) return std::nullopt;
 
-  // Scan segments from not_before, tracking the start of the current
-  // contiguous feasible run. The profile ends in an all-free segment, so
-  // the scan always terminates with a fit.
-  const std::size_t n = keys_.size();
-  std::optional<double> run_start;
-  for (std::size_t i = segment_index(not_before); i < n; ++i) {
-    double seg_start = std::max(keys_[i], not_before);
-    double seg_end = i + 1 < n ? keys_[i + 1] : kPosInf;
-    if (seg_end <= not_before) continue;
-    if (values_[i] >= procs) {
-      if (!run_start) run_start = seg_start;
-      // Direct comparison (not seg_end - start >= duration): the returned
-      // window [start, start + duration) must not overshoot the feasible
-      // run by a rounding ulp, or back-to-back reservations would overlap.
-      if (*run_start + duration <= seg_end) return run_start;
-    } else {
-      run_start.reset();
-    }
-  }
-  RESCHED_ASSERT(false, "profile tail must be feasible for procs <= capacity");
+  // The profile ends in an all-free segment, so the scan always terminates
+  // with a fit for procs <= capacity.
+  auto fit = kernels::earliest_fit_flat(keys_.data(), values_.data(),
+                                        keys_.size(), procs, duration,
+                                        not_before);
+  RESCHED_ASSERT(fit.has_value(),
+                 "profile tail must be feasible for procs <= capacity");
+  return fit;
 }
 
 std::optional<double> CalendarSnapshot::latest_fit(int procs, double duration,
@@ -75,41 +51,8 @@ std::optional<double> CalendarSnapshot::latest_fit(int procs, double duration,
   RESCHED_CHECK(duration > 0.0, "fit query needs positive duration");
   RESCHED_CHECK(!keys_.empty(), "snapshot queried before refresh()");
   if (procs > capacity_) return std::nullopt;
-  if (deadline - duration < not_before) return std::nullopt;
-
-  // Scan segments backwards from the deadline, tracking the end of the
-  // current contiguous feasible run. The first run long enough wins — any
-  // other candidate start would be strictly earlier.
-  const std::size_t n = keys_.size();
-  std::size_t i = segment_index(deadline);
-  std::optional<double> run_end;
-  while (true) {
-    double seg_end = std::min(i + 1 < n ? keys_[i + 1] : kPosInf, deadline);
-    double seg_start = keys_[i];
-    if (seg_start < seg_end) {  // non-empty after clamping to the deadline
-      if (values_[i] >= procs) {
-        if (!run_end) run_end = seg_end;
-        // Nudge down until start + duration fits inside the run exactly:
-        // run_end - duration can round up by an ulp, which would overlap a
-        // reservation beginning at run_end.
-        double start = *run_end - duration;
-        while (start + duration > *run_end)
-          start = std::nextafter(start, kNegInf);
-        if (start >= seg_start) {
-          // Feasible within this run; honour not_before: scanning earlier
-          // segments can only move the start earlier, so fail hard here.
-          return start >= not_before ? std::optional<double>(start)
-                                     : std::nullopt;
-        }
-      } else {
-        run_end.reset();
-      }
-    }
-    if (i == 0) break;
-    --i;
-    if (run_end && *run_end - duration < not_before) return std::nullopt;
-  }
-  return std::nullopt;
+  return kernels::latest_fit_flat(keys_.data(), values_.data(), keys_.size(),
+                                  procs, duration, deadline, not_before);
 }
 
 void CalendarSnapshot::fit_many_into(

@@ -4,11 +4,12 @@
 // A CalendarSnapshot is the step function of an AvailabilityProfile frozen
 // into two parallel arrays: segment start times (keys, leading with the
 // -infinity sentinel) and raw availability values. Fit queries against the
-// snapshot are the legacy linear scans of resv::LinearProfile — the
-// differential oracle — run over contiguous memory instead of a pointer
-// tree, so every answer is byte-identical to both the oracle and the treap
-// (resv::StepIndex) by construction: same segments, same arithmetic, same
-// one-ulp nudge in latest_fit.
+// snapshot go through the dispatched flat-fit kernels (src/kernels/),
+// whose scalar table is the legacy linear scan of resv::LinearProfile —
+// the differential oracle — run over contiguous memory instead of a
+// pointer tree, so every answer is byte-identical to both the oracle and
+// the treap (resv::StepIndex) at every dispatch level: same segments, same
+// arithmetic, same one-ulp nudge in latest_fit.
 //
 // Two call-site patterns build on it:
 //
@@ -76,8 +77,6 @@ class CalendarSnapshot {
                      std::vector<std::optional<double>>& out) const;
 
  private:
-  std::size_t segment_index(double t) const;
-
   std::vector<double> keys_;  ///< segment starts; keys_[0] is -infinity
   std::vector<int> values_;   ///< raw availability per segment (unclamped)
   int capacity_ = 0;

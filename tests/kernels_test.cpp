@@ -1,0 +1,365 @@
+// Differential fuzz for the SIMD kernel layer (src/kernels/): every
+// compiled-in SIMD table against the scalar table, which is the pre-kernel
+// code moved verbatim. Byte-identity is the contract (DESIGN.md §13), so
+// every comparison here is bit-for-bit — EXPECT_EQ on the raw payload
+// bits, never EXPECT_NEAR.
+//
+// Coverage: elementwise exec-time evaluation across tail lengths 0..vector
+// width and denormal/huge/degenerate-alpha inputs; bottom/top-level sweeps
+// over random daggen instances plus adversarial families (chains, stars,
+// dense bipartite layers); flat-profile fit scans over random step
+// functions — empty-profile edge (sentinel only), exact-key queries,
+// infeasible tails, deadline-slack underflow — cross-checked against the
+// LinearProfile oracle through CalendarSnapshot; and end-to-end RESSCHED
+// runs pinned to each dispatch level.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/core/ressched.hpp"
+#include "src/dag/dag.hpp"
+#include "src/dag/daggen.hpp"
+#include "src/kernels/kernels.hpp"
+#include "src/resv/linear_profile.hpp"
+#include "src/resv/profile.hpp"
+#include "src/resv/snapshot.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace resched;
+using kernels::Isa;
+using kernels::ScopedIsa;
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// Every ISA whose table is compiled in and runnable here, scalar included.
+std::vector<Isa> supported_isas() {
+  std::vector<Isa> out{Isa::kScalar};
+  for (Isa isa : {Isa::kSse2, Isa::kAvx2})
+    if (kernels::isa_supported(isa)) out.push_back(isa);
+  return out;
+}
+
+std::uint64_t bits(double x) {
+  std::uint64_t u;
+  std::memcpy(&u, &x, sizeof(u));
+  return u;
+}
+
+/// Bitwise equality of optional fit results (nullopt != any value).
+::testing::AssertionResult same_fit(const std::optional<double>& a,
+                                    const std::optional<double>& b) {
+  if (a.has_value() != b.has_value())
+    return ::testing::AssertionFailure()
+           << (a ? "value" : "nullopt") << " vs " << (b ? "value" : "nullopt");
+  if (a && bits(*a) != bits(*b))
+    return ::testing::AssertionFailure()
+           << std::hexfloat << *a << " vs " << *b;
+  return ::testing::AssertionSuccess();
+}
+
+void expect_same_doubles(const std::vector<double>& want,
+                         const std::vector<double>& got, const char* what,
+                         Isa isa) {
+  ASSERT_EQ(want.size(), got.size()) << what;
+  for (std::size_t i = 0; i < want.size(); ++i)
+    ASSERT_EQ(bits(want[i]), bits(got[i]))
+        << what << " diverges from scalar at index " << i << " under "
+        << kernels::to_string(isa) << ": " << std::hexfloat << want[i]
+        << " vs " << got[i];
+}
+
+TEST(KernelDispatch, ReportsAndPinsSupportedLevels) {
+  EXPECT_TRUE(kernels::isa_supported(Isa::kScalar));
+  Isa best = kernels::best_supported_isa();
+  EXPECT_TRUE(kernels::isa_supported(best));
+  EXPECT_TRUE(kernels::isa_supported(kernels::active_isa()));
+  Isa before = kernels::active_isa();
+  for (Isa isa : supported_isas()) {
+    ScopedIsa pin(isa);
+    EXPECT_EQ(kernels::active_isa(), isa);
+  }
+  EXPECT_EQ(kernels::active_isa(), before);
+  EXPECT_STREQ(kernels::to_string(Isa::kScalar), "scalar");
+  EXPECT_STREQ(kernels::to_string(Isa::kSse2), "sse2");
+  EXPECT_STREQ(kernels::to_string(Isa::kAvx2), "avx2");
+}
+
+TEST(KernelExecTimes, MatchesScalarBytewise) {
+  util::Rng rng(0xE1);
+  constexpr double kDenormal = 4.9406564584124654e-324;
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                        std::size_t{3}, std::size_t{4}, std::size_t{5},
+                        std::size_t{7}, std::size_t{8}, std::size_t{9},
+                        std::size_t{15}, std::size_t{16}, std::size_t{17},
+                        std::size_t{33}, std::size_t{100}, std::size_t{257}}) {
+    std::vector<double> seq(n), alpha(n);
+    std::vector<int> alloc(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      switch (rng.uniform_int(0, 4)) {
+        case 0: seq[i] = kDenormal; break;              // denormal seq time
+        case 1: seq[i] = 1e300; break;                  // huge seq time
+        case 2: seq[i] = rng.uniform(1e-12, 1.0); break;
+        default: seq[i] = rng.uniform(60.0, 36000.0); break;
+      }
+      switch (rng.uniform_int(0, 4)) {
+        case 0: alpha[i] = 0.0; break;                  // perfectly parallel
+        case 1: alpha[i] = 1.0; break;                  // fully sequential
+        case 2: alpha[i] = kDenormal; break;
+        default: alpha[i] = rng.uniform(0.0, 1.0); break;
+      }
+      alloc[i] = rng.bernoulli(0.1)
+                     ? (1 << 30)                        // giant allocation
+                     : static_cast<int>(rng.uniform_int(1, 512));
+    }
+    std::vector<double> want(n), got(n);
+    {
+      ScopedIsa pin(Isa::kScalar);
+      kernels::exec_times(seq.data(), alpha.data(), alloc.data(), n,
+                          want.data());
+    }
+    for (Isa isa : supported_isas()) {
+      ScopedIsa pin(isa);
+      std::fill(got.begin(), got.end(), -1.0);
+      kernels::exec_times(seq.data(), alpha.data(), alloc.data(), n,
+                          got.data());
+      expect_same_doubles(want, got, "exec_times", isa);
+    }
+  }
+}
+
+/// DAG families for the sweep differentials: random daggen instances plus
+/// shapes that stress the wavefront tails (chains: every level has one
+/// task; stars: one huge level; dense layers: wide levels with many
+/// predecessors per task, the gather-heavy case).
+std::vector<dag::Dag> sweep_dags() {
+  std::vector<dag::Dag> dags;
+  util::Rng rng(0xD4);
+  for (double width : {0.2, 0.5, 0.9}) {
+    dag::DagSpec spec;
+    spec.num_tasks = 60;
+    spec.width = width;
+    spec.density = width;
+    dags.push_back(dag::generate(spec, rng));
+  }
+  auto cost = [&] {
+    return dag::TaskCost{rng.uniform(60.0, 36000.0), rng.uniform(0.0, 0.3)};
+  };
+  {  // chain of 23
+    std::vector<dag::TaskCost> costs;
+    std::vector<std::pair<int, int>> edges;
+    for (int v = 0; v < 23; ++v) costs.push_back(cost());
+    for (int v = 0; v + 1 < 23; ++v) edges.emplace_back(v, v + 1);
+    dags.emplace_back(std::move(costs), edges);
+  }
+  {  // star: entry -> 30 middles -> exit
+    std::vector<dag::TaskCost> costs;
+    std::vector<std::pair<int, int>> edges;
+    for (int v = 0; v < 32; ++v) costs.push_back(cost());
+    for (int m = 1; m <= 30; ++m) {
+      edges.emplace_back(0, m);
+      edges.emplace_back(m, 31);
+    }
+    dags.emplace_back(std::move(costs), edges);
+  }
+  {  // dense: 6 layers x 13 wide, full bipartite between adjacent layers
+    constexpr int kLayers = 6, kWide = 13;
+    std::vector<dag::TaskCost> costs;
+    std::vector<std::pair<int, int>> edges;
+    for (int v = 0; v < kLayers * kWide; ++v) costs.push_back(cost());
+    for (int l = 0; l + 1 < kLayers; ++l)
+      for (int a = 0; a < kWide; ++a)
+        for (int b = 0; b < kWide; ++b)
+          edges.emplace_back(l * kWide + a, (l + 1) * kWide + b);
+    dags.emplace_back(std::move(costs), edges);
+  }
+  return dags;
+}
+
+TEST(KernelSweeps, MatchScalarBytewiseOnDagFamilies) {
+  util::Rng rng(0x5E);
+  for (const dag::Dag& d : sweep_dags()) {
+    std::vector<int> alloc(static_cast<std::size_t>(d.size()));
+    for (int& a : alloc) a = static_cast<int>(rng.uniform_int(1, 64));
+    std::vector<double> exec;
+    dag::exec_times_into(d, alloc, exec);
+
+    std::vector<double> want_bl, want_tl, got;
+    {
+      ScopedIsa pin(Isa::kScalar);
+      dag::bottom_levels_into(d, exec, want_bl);
+      dag::top_levels_into(d, exec, want_tl);
+      // The fused one-buffer overload runs the sweep in place over the
+      // exec buffer — identical to the two-buffer form by the aliasing
+      // argument in kernels.hpp, checked here for the scalar table too.
+      dag::bottom_levels_into(d, alloc, got);
+      expect_same_doubles(want_bl, got, "fused bottom_levels_into",
+                          Isa::kScalar);
+    }
+    for (Isa isa : supported_isas()) {
+      ScopedIsa pin(isa);
+      dag::bottom_levels_into(d, exec, got);
+      expect_same_doubles(want_bl, got, "bottom_levels_into", isa);
+      dag::bottom_levels_into(d, alloc, got);
+      expect_same_doubles(want_bl, got, "fused bottom_levels_into", isa);
+      dag::top_levels_into(d, exec, got);
+      expect_same_doubles(want_tl, got, "top_levels_into", isa);
+    }
+  }
+}
+
+TEST(KernelFitScans, MatchScalarBytewiseOnRandomStepFunctions) {
+  util::Rng rng(0xF1);
+  // Segment counts straddle every tail length 0..8 of both vector widths
+  // (4-wide SSE2 int compares, 8-wide AVX2), plus sizes above and below
+  // them. n == 1 is the empty profile: just the -infinity sentinel.
+  for (std::size_t n = 1; n <= 40; ++n) {
+    for (int variant = 0; variant < 24; ++variant) {
+      std::vector<double> keys(n);
+      std::vector<int> values(n);
+      keys[0] = kNegInf;
+      double t = rng.uniform(-50.0, 50.0) * 3600.0;
+      for (std::size_t i = 1; i < n; ++i) {
+        // Mix sliver and hour-scale gaps so runs of every length appear.
+        t += rng.bernoulli(0.3) ? rng.uniform(1e-9, 1e-3)
+                                : rng.uniform(0.1, 6.0) * 3600.0;
+        keys[i] = t;
+      }
+      for (std::size_t i = 0; i < n; ++i)
+        values[i] = static_cast<int>(rng.uniform_int(-3, 12));
+      if (rng.bernoulli(0.5)) values[n - 1] = 64;  // feasible tail
+
+      for (int q = 0; q < 12; ++q) {
+        int procs = static_cast<int>(rng.uniform_int(1, 13));
+        double duration = rng.bernoulli(0.25) ? rng.uniform(1e-12, 1e-6)
+                                              : rng.uniform(0.1, 9.0) * 3600.0;
+        // Exact-key anchors hit the first/last-window boundary cases the
+        // movemask searches must resolve identically to the scalar scan.
+        double not_before =
+            rng.bernoulli(0.3) && n > 1
+                ? keys[static_cast<std::size_t>(
+                      rng.uniform_int(1, static_cast<std::int64_t>(n) - 1))]
+                : rng.uniform(-60.0, 60.0) * 3600.0;
+        // Occasionally underflow the slack: deadline - duration <
+        // not_before must yield nullopt at every level.
+        double deadline =
+            not_before + (rng.bernoulli(0.2)
+                              ? rng.uniform(0.0, duration)
+                              : duration + rng.uniform(0.0, 40.0) * 3600.0);
+
+        std::optional<double> want_e, want_l;
+        {
+          ScopedIsa pin(Isa::kScalar);
+          want_e = kernels::earliest_fit_flat(keys.data(), values.data(), n,
+                                              procs, duration, not_before);
+          want_l =
+              kernels::latest_fit_flat(keys.data(), values.data(), n, procs,
+                                       duration, deadline, not_before);
+        }
+        for (Isa isa : supported_isas()) {
+          ScopedIsa pin(isa);
+          auto got_e = kernels::earliest_fit_flat(
+              keys.data(), values.data(), n, procs, duration, not_before);
+          EXPECT_TRUE(same_fit(want_e, got_e))
+              << "earliest_fit n=" << n << " procs=" << procs << " under "
+              << kernels::to_string(isa);
+          auto got_l =
+              kernels::latest_fit_flat(keys.data(), values.data(), n, procs,
+                                       duration, deadline, not_before);
+          EXPECT_TRUE(same_fit(want_l, got_l))
+              << "latest_fit n=" << n << " procs=" << procs << " under "
+              << kernels::to_string(isa);
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelFitScans, SnapshotMatchesLinearOracleAtEveryIsa) {
+  util::Rng rng(0xCA);
+  for (int trial = 0; trial < 6; ++trial) {
+    const int p = static_cast<int>(rng.uniform_int(4, 48));
+    resv::AvailabilityProfile profile(p);
+    resv::LinearProfile oracle(p);
+    const int n_res = static_cast<int>(rng.uniform_int(0, 60));
+    for (int i = 0; i < n_res; ++i) {
+      double start = rng.uniform(-12.0, 96.0) * 3600.0;
+      double dur = rng.bernoulli(0.2) ? rng.uniform(1e-9, 1e-3)
+                                      : rng.uniform(0.5, 10.0) * 3600.0;
+      resv::Reservation r{start, start + dur,
+                          static_cast<int>(rng.uniform_int(1, p))};
+      profile.add(r);
+      oracle.add(r);
+    }
+    resv::CalendarSnapshot snap;
+    snap.refresh(profile);
+    for (int q = 0; q < 40; ++q) {
+      int procs = static_cast<int>(rng.uniform_int(1, p));
+      double duration = rng.uniform(1.0, 20.0 * 3600.0);
+      double not_before = rng.uniform(-20.0, 90.0) * 3600.0;
+      double deadline = not_before + rng.uniform(0.0, 40.0) * 3600.0;
+      auto oracle_e = oracle.earliest_fit(procs, duration, not_before);
+      auto oracle_l = oracle.latest_fit(procs, duration, deadline, not_before);
+      for (Isa isa : supported_isas()) {
+        ScopedIsa pin(isa);
+        EXPECT_TRUE(
+            same_fit(oracle_e, snap.earliest_fit(procs, duration, not_before)))
+            << "earliest_fit vs oracle under " << kernels::to_string(isa);
+        EXPECT_TRUE(same_fit(
+            oracle_l, snap.latest_fit(procs, duration, deadline, not_before)))
+            << "latest_fit vs oracle under " << kernels::to_string(isa);
+      }
+    }
+  }
+}
+
+TEST(KernelEndToEnd, ResschedSchedulesBytewiseIdenticalAcrossIsas) {
+  util::Rng rng(0xAB);
+  for (int trial = 0; trial < 3; ++trial) {
+    dag::DagSpec spec;
+    spec.num_tasks = 40;
+    dag::Dag d = dag::generate(spec, rng);
+    const int p = 48;
+    resv::ReservationList list;
+    for (int i = 0; i < 20; ++i) {
+      double start = rng.uniform(-12.0, 96.0) * 3600.0;
+      list.push_back({start, start + rng.uniform(0.5, 10.0) * 3600.0,
+                      static_cast<int>(rng.uniform_int(1, p / 3))});
+    }
+    resv::AvailabilityProfile profile(p, list);
+    int q = resv::historical_average_available(profile, 0.0, 86400.0);
+    core::ResschedParams params;  // BL_CPAR / BD_CPAR defaults
+
+    core::ResschedResult want;
+    {
+      ScopedIsa pin(Isa::kScalar);
+      want = core::schedule_ressched(d, profile, 0.0, q, params);
+    }
+    for (Isa isa : supported_isas()) {
+      ScopedIsa pin(isa);
+      auto got = core::schedule_ressched(d, profile, 0.0, q, params);
+      ASSERT_EQ(want.schedule.tasks.size(), got.schedule.tasks.size());
+      for (std::size_t v = 0; v < want.schedule.tasks.size(); ++v) {
+        const auto& a = want.schedule.tasks[v];
+        const auto& b = got.schedule.tasks[v];
+        EXPECT_EQ(a.procs, b.procs)
+            << "task " << v << " under " << kernels::to_string(isa);
+        EXPECT_EQ(bits(a.start), bits(b.start))
+            << "task " << v << " under " << kernels::to_string(isa);
+        EXPECT_EQ(bits(a.finish), bits(b.finish))
+            << "task " << v << " under " << kernels::to_string(isa);
+      }
+      EXPECT_EQ(bits(want.turnaround), bits(got.turnaround));
+      EXPECT_EQ(bits(want.cpu_hours), bits(got.cpu_hours));
+    }
+  }
+}
+
+}  // namespace
